@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Section 5.2 prefetch-distance experiment: epicdec and rasta
+ * have loops with small II values, so prefetching only the next
+ * subblock arrives too late. Prefetching two subblocks ahead reduces
+ * their execution time (paper: -12% for epicdec, -4% for rasta).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hh"
+#include "driver/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace l0vliw;
+
+int
+main()
+{
+    driver::ExperimentRunner runner;
+    std::vector<driver::ArchSpec> archs = {
+        driver::ArchSpec::l0PrefetchDistance(8, 1),
+        driver::ArchSpec::l0PrefetchDistance(8, 2),
+        driver::ArchSpec::l0PrefetchDistance(8, 3),
+    };
+
+    std::printf("Prefetch-distance ablation (8-entry L0 buffers, "
+                "normalised to unified no-L0)\n\n");
+    TextTable t;
+    t.setHeader({"benchmark", "dist=1", "st", "dist=2", "st", "dist=3",
+                 "st", "d2 vs d1"});
+    for (const auto &name : workloads::benchmarkNames()) {
+        workloads::Benchmark bench = workloads::makeBenchmark(name);
+        std::vector<std::string> row{name};
+        std::vector<double> totals;
+        for (const auto &arch : archs) {
+            driver::BenchmarkRun r = runner.run(bench, arch);
+            totals.push_back(runner.normalized(bench, r));
+            row.push_back(TextTable::fmt(totals.back()));
+            row.push_back(
+                TextTable::fmt(runner.normalizedStall(bench, r)));
+        }
+        double delta = (totals[1] - totals[0]) / totals[0];
+        row.push_back(TextTable::pct(delta, 1));
+        t.addRow(row);
+    }
+    t.print();
+    std::printf("\nPaper reference: prefetching two subblocks ahead "
+                "cuts epicdec by ~12%% and rasta by ~4%%; it needs more "
+                "L0 entries, so other benchmarks may regress.\n");
+    return 0;
+}

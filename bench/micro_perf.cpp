@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the toolchain's hot paths: the
+ * modulo scheduler (BASE and L0-aware), the L0 buffer lookup/fill
+ * path, and the kernel simulator. These track the engineering cost of
+ * the infrastructure itself, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ir/loop.hh"
+#include "machine/machine_config.hh"
+#include "mem/l0_buffer.hh"
+#include "mem/mem_system.hh"
+#include "sched/scheduler.hh"
+#include "sim/kernel_sim.hh"
+#include "workloads/kernels.hh"
+
+using namespace l0vliw;
+
+namespace
+{
+
+ir::Loop
+benchLoop()
+{
+    workloads::AddressSpace as;
+    workloads::StreamParams p;
+    p.elemSize = 2;
+    p.loadStreams = 3;
+    p.storeStreams = 1;
+    p.intOps = 6;
+    return ir::unrollLoop(workloads::streamMap(as, "bench", p), 4);
+}
+
+void
+BM_BaseScheduler(benchmark::State &state)
+{
+    ir::Loop loop = benchLoop();
+    machine::MachineConfig cfg = machine::MachineConfig::paperUnified();
+    sched::ModuloScheduler s(cfg, sched::SchedulerOptions::baseUnified());
+    for (auto _ : state) {
+        sched::Schedule out = s.schedule(loop);
+        benchmark::DoNotOptimize(out.ii);
+    }
+}
+BENCHMARK(BM_BaseScheduler);
+
+void
+BM_L0Scheduler(benchmark::State &state)
+{
+    ir::Loop loop = benchLoop();
+    machine::MachineConfig cfg = machine::MachineConfig::paperL0(8);
+    sched::ModuloScheduler s(cfg, sched::SchedulerOptions::l0());
+    for (auto _ : state) {
+        sched::Schedule out = s.schedule(loop);
+        benchmark::DoNotOptimize(out.ii);
+    }
+}
+BENCHMARK(BM_L0Scheduler);
+
+void
+BM_L0BufferLookup(benchmark::State &state)
+{
+    mem::L0Buffer buf(static_cast<int>(state.range(0)), 8, 4);
+    std::uint8_t block[32] = {};
+    for (int i = 0; i < state.range(0); ++i)
+        buf.fillLinear(static_cast<Addr>(i) * 32, i % 4, block);
+    std::uint8_t out[8];
+    Addr addr = 0;
+    for (auto _ : state) {
+        mem::L0Lookup r = buf.lookup(addr, 4, out);
+        benchmark::DoNotOptimize(r.hit);
+        addr = (addr + 8) % (state.range(0) * 32);
+    }
+}
+BENCHMARK(BM_L0BufferLookup)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_KernelSim(benchmark::State &state)
+{
+    ir::Loop loop = benchLoop();
+    machine::MachineConfig cfg = machine::MachineConfig::paperL0(8);
+    sched::ModuloScheduler s(cfg, sched::SchedulerOptions::l0());
+    sched::Schedule sch = s.schedule(loop);
+    sim::SimOptions opts;
+    opts.checkCoherence = state.range(0) != 0;
+    Cycle clock = 0;
+    for (auto _ : state) {
+        auto mem = mem::MemSystem::create(cfg);
+        auto res = sim::simulateInvocation(sch, *mem, 256, clock, opts);
+        clock += res.totalCycles();
+        benchmark::DoNotOptimize(res.stallCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_KernelSim)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Regenerates Table 1: per benchmark, the dynamic percentage of
+ * strided memory accesses (S), of "good" strides (SG: 0 or +-1
+ * element at the original loop level), and of other strides (SO).
+ * Paper values are printed alongside the measured ones.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "workloads/stride_mix.hh"
+#include "workloads/workload.hh"
+
+using namespace l0vliw;
+
+int
+main()
+{
+    std::printf("Table 1: dynamic stride mix of the benchmark models\n");
+    std::printf("(measured vs paper; S = strided, SG = good strides, "
+                "SO = other strides)\n\n");
+
+    TextTable t;
+    t.setHeader({"benchmark", "S", "S(paper)", "SG", "SG(paper)", "SO",
+                 "SO(paper)"});
+    for (const auto &name : workloads::benchmarkNames()) {
+        workloads::Benchmark b = workloads::makeBenchmark(name);
+        workloads::StrideMix m = workloads::measureStrideMix(b);
+        t.addRow({name, TextTable::pct(m.s, 0),
+                  TextTable::pct(b.paper.s, 0), TextTable::pct(m.sg, 0),
+                  TextTable::pct(b.paper.sg, 0), TextTable::pct(m.so, 0),
+                  TextTable::pct(b.paper.so, 0)});
+    }
+    t.print();
+    return 0;
+}

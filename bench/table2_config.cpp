@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Table 2: the machine configuration parameters of the
+ * evaluated clustered VLIW processor, as encoded in MachineConfig.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "machine/machine_config.hh"
+
+using namespace l0vliw;
+
+int
+main()
+{
+    machine::MachineConfig c = machine::MachineConfig::paperL0(8);
+    c.validate();
+
+    std::printf("Table 2: configuration parameters\n\n");
+    TextTable t;
+    t.setHeader({"parameter", "value"});
+    t.addRow({"clusters",
+              std::to_string(c.numClusters) + " (lock-step)"});
+    t.addRow({"functional units / cluster",
+              std::to_string(c.intUnitsPerCluster) + " integer + "
+                  + std::to_string(c.memUnitsPerCluster) + " memory + "
+                  + std::to_string(c.fpUnitsPerCluster) + " FP"});
+    t.addRow({"L0 buffer latency",
+              std::to_string(c.l0Latency) + " cycle"});
+    t.addRow({"L0 buffer organisation",
+              "fully associative, " + std::to_string(c.l0SubblockBytes)
+                  + "-byte subblocks, " + std::to_string(c.l0Ports)
+                  + " r/w ports"});
+    t.addRow({"L1 latency",
+              std::to_string(c.l1Latency)
+                  + " cycles (2 request + 2 access + 2 response)"});
+    t.addRow({"L1 organisation",
+              std::to_string(c.l1Assoc) + "-way set-associative, "
+                  + std::to_string(c.l1SizeBytes / 1024) + "KB, "
+                  + std::to_string(c.l1BlockBytes) + "-byte blocks"});
+    t.addRow({"shift/interleave logic",
+              std::to_string(c.interleavePenalty) + " extra cycle"});
+    t.addRow({"L2 latency",
+              std::to_string(c.l2Latency) + " cycles (always hits)"});
+    t.addRow({"register-to-register buses",
+              std::to_string(c.numBuses) + " buses, "
+                  + std::to_string(c.busLatency) + "-cycle latency"});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sweep one benchmark across every memory architecture and L0 size,
+ * printing the paper-style normalised execution-time breakdown. A
+ * miniature of the Figure 5 + Figure 7 harnesses for a single
+ * workload, useful when exploring a new benchmark model.
+ *
+ * Usage: compare_architectures [benchmark]   (default: gsmdec)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "driver/runner.hh"
+#include "workloads/stride_mix.hh"
+#include "workloads/workload.hh"
+
+using namespace l0vliw;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "gsmdec";
+    workloads::Benchmark bench = workloads::makeBenchmark(name);
+    workloads::StrideMix mix = workloads::measureStrideMix(bench);
+
+    std::printf("benchmark %s: %zu loops, stride mix S=%.0f%% "
+                "SG=%.0f%% SO=%.0f%%\n\n",
+                name.c_str(), bench.loops.size(), 100 * mix.s,
+                100 * mix.sg, 100 * mix.so);
+
+    std::vector<driver::ArchSpec> archs = {
+        driver::ArchSpec::unified(),     driver::ArchSpec::l0(2),
+        driver::ArchSpec::l0(4),         driver::ArchSpec::l0(8),
+        driver::ArchSpec::l0(16),        driver::ArchSpec::l0(-1),
+        driver::ArchSpec::multiVliw(),   driver::ArchSpec::interleaved1(),
+        driver::ArchSpec::interleaved2(),
+    };
+
+    driver::ExperimentRunner runner;
+    TextTable t;
+    t.setHeader({"architecture", "normalised", "stall", "L0 hit-rate",
+                 "unroll", "coherent"});
+    for (const auto &arch : archs) {
+        driver::BenchmarkRun r = runner.run(bench, arch);
+        t.addRow({arch.label, TextTable::fmt(runner.normalized(bench, r)),
+                  TextTable::fmt(runner.normalizedStall(bench, r)),
+                  r.l0Hits + r.l0Misses > 0
+                      ? TextTable::pct(r.l0HitRate(), 1) : "-",
+                  TextTable::fmt(r.avgUnroll, 2),
+                  r.coherenceViolations == 0 ? "yes" : "NO"});
+    }
+    t.print();
+    return 0;
+}

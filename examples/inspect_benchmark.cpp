@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Per-loop inspection of a benchmark model under one architecture:
+ * unroll decision, II, stage count, latency assignment, hit rates and
+ * the compute/stall split. Useful to understand *why* a benchmark
+ * behaves as it does in the paper-level figures.
+ *
+ * Usage: inspect_benchmark [benchmark] [arch]
+ *   benchmark: one of the 13 Mediabench names   (default: epicdec)
+ *   arch: unified | l0-N | l0-unbounded | multivliw | int1 | int2
+ *         (default: l0-8)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "driver/runner.hh"
+#include "ir/memdep.hh"
+#include "mem/l0_system.hh"
+#include "mem/mem_system.hh"
+#include "sched/scheduler.hh"
+#include "sim/kernel_sim.hh"
+#include "workloads/workload.hh"
+
+using namespace l0vliw;
+
+namespace
+{
+
+driver::ArchSpec
+parseArch(const std::string &s)
+{
+    if (s == "unified")
+        return driver::ArchSpec::unified();
+    if (s == "multivliw")
+        return driver::ArchSpec::multiVliw();
+    if (s == "int1")
+        return driver::ArchSpec::interleaved1();
+    if (s == "int2")
+        return driver::ArchSpec::interleaved2();
+    if (s == "l0-unbounded")
+        return driver::ArchSpec::l0(-1);
+    if (s.rfind("l0-", 0) == 0)
+        return driver::ArchSpec::l0(std::stoi(s.substr(3)));
+    fatal("unknown arch '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench_name = argc > 1 ? argv[1] : "epicdec";
+    std::string arch_name = argc > 2 ? argv[2] : "l0-8";
+
+    workloads::Benchmark bench = workloads::makeBenchmark(bench_name);
+    driver::ArchSpec arch = parseArch(arch_name);
+
+    std::printf("benchmark %s on %s\n\n", bench_name.c_str(),
+                arch.label.c_str());
+
+    // Reference unroll decisions (same rule the runner uses).
+    driver::ArchSpec ref = driver::ArchSpec::l0(8);
+    sched::ModuloScheduler ref_sched(ref.config, ref.sched);
+    sched::ModuloScheduler scheduler(arch.config, arch.sched);
+
+    TextTable t;
+    t.setHeader({"loop", "unroll", "II", "SC", "l0loads", "trips", "inv",
+                 "compute", "stall", "hit%", "viol"});
+
+    Cycle clock = 0;
+    for (const auto &li : bench.loops) {
+        ir::Loop body =
+            li.specialize ? ir::specializeLoop(li.loop) : li.loop;
+        int u = sched::chooseUnrollFactor(body, li.trips, ref_sched,
+                                          ref.config.numClusters);
+        if (u > 1)
+            body = ir::unrollLoop(body, u);
+        sched::Schedule s = scheduler.schedule(body);
+
+        int l0_loads = 0;
+        for (OpId i = 0; i < s.loop.numOps(); ++i)
+            if (s.loop.op(i).kind == ir::OpKind::Load && s.ops[i].usesL0)
+                ++l0_loads;
+
+        // Fresh memory system per loop so the stats are per-loop.
+        auto mem = mem::MemSystem::create(arch.config);
+        sim::SimOptions so;
+        std::uint64_t compute = 0, stall = 0, viol = 0;
+        for (std::uint64_t inv = 0; inv < li.invocations; ++inv) {
+            auto r = sim::simulateInvocation(s, *mem, li.trips / u, clock,
+                                             so);
+            clock += r.totalCycles();
+            compute += r.computeCycles;
+            stall += r.stallCycles;
+            viol += r.coherenceViolations;
+        }
+        double hit = 0;
+        if (auto *l0sys = dynamic_cast<mem::L0MemSystem *>(mem.get())) {
+            StatSet st = l0sys->l0Stats();
+            std::uint64_t h = st.get("l0_hits");
+            std::uint64_t m = st.get("l0_misses");
+            hit = h + m == 0 ? 0 : 100.0 * h / (h + m);
+        }
+        t.addRow({li.loop.name(), std::to_string(u), std::to_string(s.ii),
+                  std::to_string(s.stageCount), std::to_string(l0_loads),
+                  std::to_string(li.trips), std::to_string(li.invocations),
+                  std::to_string(compute), std::to_string(stall),
+                  TextTable::fmt(hit, 1), std::to_string(viol)});
+    }
+    t.print();
+
+    // Whole-benchmark summary via the runner (normalised).
+    driver::ExperimentRunner runner;
+    driver::BenchmarkRun r = runner.run(bench, arch);
+    std::printf("\nnormalised execution time: %.3f (stall %.3f), "
+                "avg unroll %.2f, L0 hit rate %.1f%%\n",
+                runner.normalized(bench, r),
+                runner.normalizedStall(bench, r), r.avgUnroll,
+                100.0 * r.l0HitRate());
+    std::printf("fills: linear %llu, interleaved %llu\n",
+                static_cast<unsigned long long>(r.fillsLinear),
+                static_cast<unsigned long long>(r.fillsInterleaved));
+    for (const auto &kv : r.memStats.all())
+        std::printf("  %-32s %llu\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Quickstart: build a small loop, modulo-schedule it for a clustered
+ * VLIW with and without L0 buffers, simulate both, and print the
+ * schedules and timing side by side.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "driver/runner.hh"
+#include "ir/loop.hh"
+#include "mem/mem_system.hh"
+#include "sched/scheduler.hh"
+#include "sched/validate.hh"
+#include "sim/kernel_sim.hh"
+#include "workloads/kernels.hh"
+
+using namespace l0vliw;
+
+namespace
+{
+
+void
+printSchedule(const char *title, const sched::Schedule &s)
+{
+    std::printf("%s: II=%d, SC=%d\n", title, s.ii, s.stageCount);
+    TextTable t;
+    t.setHeader({"op", "kind", "cluster", "cycle", "lat", "access",
+                 "map", "prefetch"});
+    for (OpId i = 0; i < s.loop.numOps(); ++i) {
+        const ir::Operation &op = s.loop.op(i);
+        const sched::OpSchedule &os = s.ops[i];
+        const char *kind =
+            op.kind == ir::OpKind::Load ? "load"
+            : op.kind == ir::OpKind::Store ? "store"
+            : op.kind == ir::OpKind::Prefetch ? "prefetch"
+            : op.kind == ir::OpKind::FpAlu ? "fp" : "int";
+        t.addRow({op.tag.empty() ? std::to_string(i) : op.tag, kind,
+                  std::to_string(os.cluster), std::to_string(os.startCycle),
+                  std::to_string(os.assignedLatency),
+                  op.kind == ir::OpKind::Load && os.usesL0
+                      ? ir::toString(os.access) : "-",
+                  op.kind == ir::OpKind::Load && os.usesL0
+                      ? ir::toString(os.map) : "-",
+                  os.prefetch == ir::PrefetchHint::NoPrefetch
+                      ? "-" : ir::toString(os.prefetch)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    // A 2-byte-element saturating add over two input streams — the
+    // kind of inner loop the paper's Section 3.1 example uses.
+    workloads::AddressSpace as;
+    workloads::StreamParams p;
+    p.elemSize = 2;
+    p.loadStreams = 2;
+    p.storeStreams = 1;
+    p.intOps = 5;
+    ir::Loop loop = workloads::streamMap(as, "saturating_add", p);
+
+    const std::uint64_t trips = 1024;
+
+    // Unroll by the cluster count so the interleaved mapping applies.
+    ir::Loop unrolled = ir::unrollLoop(loop, 4);
+
+    // --- baseline: unified L1, no L0 buffers ---
+    machine::MachineConfig base_cfg = machine::MachineConfig::paperUnified();
+    sched::SchedulerOptions base_opts = sched::SchedulerOptions::baseUnified();
+    sched::ModuloScheduler base_sched(base_cfg, base_opts);
+    sched::Schedule base = base_sched.schedule(unrolled);
+    printSchedule("BASE schedule (unified L1, loads at 6 cycles)", base);
+
+    // --- the paper's architecture: 8-entry L0 buffers ---
+    machine::MachineConfig l0_cfg = machine::MachineConfig::paperL0(8);
+    sched::SchedulerOptions l0_opts = sched::SchedulerOptions::l0();
+    sched::ModuloScheduler l0_sched(l0_cfg, l0_opts);
+    sched::Schedule with_l0 = l0_sched.schedule(unrolled);
+    printSchedule("L0-aware schedule (8-entry L0 buffers)", with_l0);
+
+    for (const auto &v : sched::validateSchedule(base, base_cfg))
+        std::printf("BASE schedule violation: %s\n", v.c_str());
+    for (const auto &v : sched::validateSchedule(with_l0, l0_cfg))
+        std::printf("L0 schedule violation: %s\n", v.c_str());
+
+    // --- simulate both ---
+    sim::SimOptions sim_opts;
+    auto base_mem = mem::MemSystem::create(base_cfg);
+    auto base_res = sim::simulateInvocation(base, *base_mem, trips / 4, 0,
+                                            sim_opts);
+    auto l0_mem = mem::MemSystem::create(l0_cfg);
+    auto l0_res = sim::simulateInvocation(with_l0, *l0_mem, trips / 4, 0,
+                                          sim_opts);
+
+    TextTable t;
+    t.setHeader({"config", "compute", "stall", "total", "violations"});
+    t.addRow({"unified L1", std::to_string(base_res.computeCycles),
+              std::to_string(base_res.stallCycles),
+              std::to_string(base_res.totalCycles()),
+              std::to_string(base_res.coherenceViolations)});
+    t.addRow({"8-entry L0", std::to_string(l0_res.computeCycles),
+              std::to_string(l0_res.stallCycles),
+              std::to_string(l0_res.totalCycles()),
+              std::to_string(l0_res.coherenceViolations)});
+    t.print();
+
+    double speedup = static_cast<double>(base_res.totalCycles())
+                     / l0_res.totalCycles();
+    std::printf("\nL0 buffers speed this loop up %.2fx\n", speedup);
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "common/logging.hh"
+
+namespace l0vliw
+{
+
+namespace detail
+{
+
+void
+emit(const char *kind, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", kind);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+[[noreturn]] void
+die(const char *kind, bool abort_process, const char *fmt, std::va_list ap)
+{
+    emit(kind, fmt, ap);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    detail::die("panic", true, fmt, ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    detail::die("fatal", false, fmt, ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    detail::emit("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    detail::emit("info", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace l0vliw

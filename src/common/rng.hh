@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the workload generator and the property
+ * tests flows through Rng so that runs are exactly reproducible from a
+ * seed. The generator is SplitMix64: tiny, fast, and good enough for
+ * workload synthesis (we are not doing cryptography or Monte Carlo
+ * integration).
+ */
+
+#ifndef L0VLIW_COMMON_RNG_HH
+#define L0VLIW_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace l0vliw
+{
+
+/** SplitMix64 deterministic random number generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace l0vliw
+
+#endif // L0VLIW_COMMON_RNG_HH

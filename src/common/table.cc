@@ -1,0 +1,78 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace l0vliw
+{
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths over header and all rows.
+    std::vector<std::size_t> width(header.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header);
+    for (const auto &r : rows)
+        widen(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            out << c;
+            if (i + 1 < width.size())
+                out << std::string(width[i] - c.size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit(header);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i)
+        total += width[i] + (i + 1 < width.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &r : rows)
+        emit(r);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TextTable::fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v * 100.0);
+    return buf;
+}
+
+} // namespace l0vliw

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures as
+ * an aligned text table; this helper keeps the formatting in one place.
+ */
+
+#ifndef L0VLIW_COMMON_TABLE_HH
+#define L0VLIW_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace l0vliw
+{
+
+/** Builds and prints a column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table (header, rule, rows) to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits decimals. */
+    static std::string fmt(double v, int digits = 2);
+
+    /** Format a percentage (0..1 input) with @p digits decimals. */
+    static std::string pct(double v, int digits = 1);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace l0vliw
+
+#endif // L0VLIW_COMMON_TABLE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the l0vliw libraries.
+ */
+
+#ifndef L0VLIW_COMMON_TYPES_HH
+#define L0VLIW_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace l0vliw
+{
+
+/** Simulated time, in machine cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Index of a cluster (0-based). */
+using ClusterId = int;
+
+/** Sentinel meaning "no cluster assigned yet". */
+constexpr ClusterId kNoCluster = -1;
+
+/** Identifier of an operation within a loop body (dense, 0-based). */
+using OpId = int;
+
+/** Sentinel meaning "no operation". */
+constexpr OpId kNoOp = -1;
+
+} // namespace l0vliw
+
+#endif // L0VLIW_COMMON_TYPES_HH

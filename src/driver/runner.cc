@@ -1,0 +1,248 @@
+#include "driver/runner.hh"
+
+#include "common/logging.hh"
+#include "ir/memdep.hh"
+#include "mem/l0_system.hh"
+#include "mem/mem_system.hh"
+#include "sched/validate.hh"
+#include "sim/kernel_sim.hh"
+
+namespace l0vliw::driver
+{
+
+namespace
+{
+
+/** Cycles charged per invocation for the specialization check code. */
+constexpr std::uint64_t kSpecializationCheckCycles = 4;
+
+/** Scalar (non-modulo-scheduled) share: loops are ~80% of the stream. */
+constexpr double kScalarShare = 0.25;
+
+} // namespace
+
+ArchSpec
+ArchSpec::unified()
+{
+    ArchSpec a;
+    a.label = "unified";
+    a.config = machine::MachineConfig::paperUnified();
+    a.sched = sched::SchedulerOptions::baseUnified();
+    a.sched.memLoadLatency = a.config.l1Latency;
+    return a;
+}
+
+ArchSpec
+ArchSpec::l0(int entries, sched::CoherenceMode mode)
+{
+    ArchSpec a;
+    a.label = entries < 0 ? "l0-unbounded"
+                          : "l0-" + std::to_string(entries);
+    a.config = machine::MachineConfig::paperL0(entries);
+    a.sched = sched::SchedulerOptions::l0(mode);
+    a.sched.memLoadLatency = a.config.l1Latency;
+    return a;
+}
+
+ArchSpec
+ArchSpec::l0AllCandidates(int entries)
+{
+    ArchSpec a = l0(entries);
+    a.label += "-allcand";
+    a.sched.selectiveL0 = false;
+    return a;
+}
+
+ArchSpec
+ArchSpec::l0PrefetchDistance(int entries, int d)
+{
+    ArchSpec a = l0(entries);
+    a.label += "-pf" + std::to_string(d);
+    a.config.prefetchDistance = d;
+    return a;
+}
+
+ArchSpec
+ArchSpec::multiVliw()
+{
+    ArchSpec a;
+    a.label = "multivliw";
+    a.config = machine::MachineConfig::paperMultiVliw();
+    a.sched = sched::SchedulerOptions::baseUnified();
+    a.sched.memLoadLatency = a.config.mvLocalHitLatency;
+    a.sched.arrayAffinity = true;
+    return a;
+}
+
+ArchSpec
+ArchSpec::interleaved1()
+{
+    // Heuristic 1: no ownership analysis — loads schedule with the
+    // conservative (remote) latency, so remote accesses do not stall
+    // but every load pays the long schedule.
+    ArchSpec a;
+    a.label = "interleaved-1";
+    a.config = machine::MachineConfig::paperInterleaved();
+    a.sched = sched::SchedulerOptions::baseUnified();
+    a.sched.memLoadLatency =
+        a.config.wiLocalHitLatency + a.config.wiRemotePenalty;
+    return a;
+}
+
+ArchSpec
+ArchSpec::interleaved2()
+{
+    // Heuristic 2: owner-aware — strided loads prefer their word's
+    // home cluster and schedule with the local-hit latency there.
+    ArchSpec a = interleaved1();
+    a.label = "interleaved-2";
+    a.sched.ownerAware = true;
+    a.sched.ownerLatency = true;
+    return a;
+}
+
+const std::vector<int> &
+ExperimentRunner::unrollFactors(const workloads::Benchmark &bench)
+{
+    auto it = unrollCache.find(bench.name);
+    if (it != unrollCache.end())
+        return it->second;
+
+    // Reference configuration for the (architecture-independent)
+    // unroll decision: 8-entry L0 buffers, as in the paper's main
+    // configuration.
+    ArchSpec ref = ArchSpec::l0(8);
+    sched::ModuloScheduler scheduler(ref.config, ref.sched);
+
+    std::vector<int> factors;
+    for (const auto &li : bench.loops) {
+        ir::Loop body =
+            li.specialize ? ir::specializeLoop(li.loop) : li.loop;
+        factors.push_back(sched::chooseUnrollFactor(
+            body, li.trips, scheduler, ref.config.numClusters));
+    }
+    return unrollCache.emplace(bench.name, std::move(factors))
+        .first->second;
+}
+
+BenchmarkRun
+ExperimentRunner::run(const workloads::Benchmark &bench,
+                      const ArchSpec &arch)
+{
+    BenchmarkRun out;
+    out.bench = bench.name;
+    out.arch = arch.label;
+
+    auto mem = mem::MemSystem::create(arch.config);
+    sched::ModuloScheduler scheduler(arch.config, arch.sched);
+    const std::vector<int> &unrolls = unrollFactors(bench);
+
+    sim::SimOptions sim_opts;
+    sim_opts.checkCoherence = true;
+
+    Cycle clock = 0;
+    double unroll_weighted = 0;
+    std::uint64_t loop_cycles_total = 0;
+
+    for (std::size_t i = 0; i < bench.loops.size(); ++i) {
+        const workloads::LoopInstance &li = bench.loops[i];
+        ir::Loop body =
+            li.specialize ? ir::specializeLoop(li.loop) : li.loop;
+        int u = unrolls[i];
+        if (u > 1)
+            body = ir::unrollLoop(body, u);
+
+        sched::Schedule schedule = scheduler.schedule(body);
+        // The all-candidates ablation intentionally overflows the L0
+        // capacity, so its schedules fail the capacity rule by design.
+        if (arch.sched.selectiveL0) {
+            auto violations =
+                sched::validateSchedule(schedule, arch.config);
+            for (const auto &v : violations)
+                warn("%s/%s: invalid schedule: %s", bench.name.c_str(),
+                     body.name().c_str(), v.c_str());
+        }
+
+        std::uint64_t trips = li.trips / u;
+        std::uint64_t loop_cycles = 0;
+        for (std::uint64_t inv = 0; inv < li.invocations; ++inv) {
+            sim::InvocationResult res = sim::simulateInvocation(
+                schedule, *mem, trips, clock, sim_opts);
+            std::uint64_t spec_cost =
+                li.specialize ? kSpecializationCheckCycles : 0;
+            clock += res.totalCycles() + spec_cost;
+            out.loopCompute += res.computeCycles + spec_cost;
+            out.loopStall += res.stallCycles;
+            out.memAccesses += res.memAccesses;
+            out.coherenceViolations += res.coherenceViolations;
+            loop_cycles += res.totalCycles() + spec_cost;
+        }
+        unroll_weighted += static_cast<double>(loop_cycles) * u;
+        loop_cycles_total += loop_cycles;
+    }
+
+    out.avgUnroll = loop_cycles_total == 0
+                        ? 1.0
+                        : unroll_weighted / loop_cycles_total;
+    if (auto *l0sys = dynamic_cast<mem::L0MemSystem *>(mem.get())) {
+        // l0Stats() already folds in the system-level counters.
+        StatSet merged = l0sys->l0Stats();
+        out.memStats = merged;
+        out.l0Hits = merged.get("l0_hits");
+        out.l0Misses = merged.get("l0_misses");
+        out.fillsLinear = merged.get("l0_fills_linear");
+        out.fillsInterleaved = merged.get("l0_fills_interleaved");
+    } else {
+        out.memStats = mem->stats();
+    }
+
+    // Scalar region: fixed share of the *baseline* loop time, identical
+    // for every architecture (self-referential for the baseline run).
+    if (arch.label == "unified") {
+        out.scalarCycles = static_cast<std::uint64_t>(
+            kScalarShare * (out.loopCompute + out.loopStall));
+    } else {
+        out.scalarCycles = baseline(bench).scalarCycles;
+    }
+    return out;
+}
+
+const BenchmarkRun &
+ExperimentRunner::baseline(const workloads::Benchmark &bench)
+{
+    auto it = baselineCache.find(bench.name);
+    if (it != baselineCache.end())
+        return it->second;
+    BenchmarkRun base = run(bench, ArchSpec::unified());
+    return baselineCache.emplace(bench.name, std::move(base))
+        .first->second;
+}
+
+double
+ExperimentRunner::normalized(const workloads::Benchmark &bench,
+                             const BenchmarkRun &r)
+{
+    const BenchmarkRun &base = baseline(bench);
+    return static_cast<double>(r.totalCycles()) / base.totalCycles();
+}
+
+double
+ExperimentRunner::normalizedStall(const workloads::Benchmark &bench,
+                                  const BenchmarkRun &r)
+{
+    const BenchmarkRun &base = baseline(bench);
+    return static_cast<double>(r.loopStall) / base.totalCycles();
+}
+
+double
+amean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / xs.size();
+}
+
+} // namespace l0vliw::driver

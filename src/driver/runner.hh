@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Experiment runner: compiles a benchmark model for an architecture,
+ * simulates every loop invocation, and aggregates the statistics the
+ * paper's tables and figures report.
+ *
+ * Normalisation follows Section 5: execution time is divided by that
+ * of the clustered VLIW with a unified L1 and no L0 buffers. Inner
+ * loops cover ~80% of the dynamic stream, so every benchmark carries a
+ * fixed scalar-region cycle budget (25% of its baseline loop time,
+ * identical across architectures), bounding attainable speedup exactly
+ * as in the paper. The unroll decision is made once per loop with the
+ * reference configuration (8-entry L0) and reused everywhere, per the
+ * paper's "same loop unrolling heuristic ... for all three
+ * architectures".
+ */
+
+#ifndef L0VLIW_DRIVER_RUNNER_HH
+#define L0VLIW_DRIVER_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "machine/machine_config.hh"
+#include "sched/scheduler.hh"
+#include "workloads/workload.hh"
+
+namespace l0vliw::driver
+{
+
+/** An architecture plus the scheduler variant that targets it. */
+struct ArchSpec
+{
+    std::string label;
+    machine::MachineConfig config;
+    sched::SchedulerOptions sched;
+
+    /** Unified L1, no L0: the normalisation baseline. */
+    static ArchSpec unified();
+    /** The paper's proposal with @p entries L0 entries (<0 unbounded). */
+    static ArchSpec l0(int entries,
+                       sched::CoherenceMode mode =
+                           sched::CoherenceMode::Auto);
+    /** l0() but marking every candidate (the overflow ablation). */
+    static ArchSpec l0AllCandidates(int entries);
+    /** l0() with the POSITIVE/NEGATIVE hints fetching @p d subblocks
+     *  ahead (the Section 5.2 prefetch-distance experiment). */
+    static ArchSpec l0PrefetchDistance(int entries, int d);
+    static ArchSpec multiVliw();
+    static ArchSpec interleaved1();
+    static ArchSpec interleaved2();
+};
+
+/** Aggregated outcome of one (benchmark, architecture) run. */
+struct BenchmarkRun
+{
+    std::string bench;
+    std::string arch;
+    std::uint64_t loopCompute = 0;
+    std::uint64_t loopStall = 0;
+    std::uint64_t scalarCycles = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t coherenceViolations = 0;
+    StatSet memStats;
+
+    double avgUnroll = 0;       ///< cycle-weighted over the loops
+    std::uint64_t l0Hits = 0;
+    std::uint64_t l0Misses = 0;
+    std::uint64_t fillsLinear = 0;
+    std::uint64_t fillsInterleaved = 0;
+
+    std::uint64_t
+    totalCycles() const
+    {
+        return loopCompute + loopStall + scalarCycles;
+    }
+
+    double
+    l0HitRate() const
+    {
+        std::uint64_t total = l0Hits + l0Misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(l0Hits) / total;
+    }
+};
+
+/** Runs benchmarks under architectures with cached baselines. */
+class ExperimentRunner
+{
+  public:
+    ExperimentRunner() = default;
+
+    /** Run @p bench under @p arch. */
+    BenchmarkRun run(const workloads::Benchmark &bench,
+                     const ArchSpec &arch);
+
+    /** The cached unified-baseline run of @p bench. */
+    const BenchmarkRun &baseline(const workloads::Benchmark &bench);
+
+    /** Execution time of @p r normalised to the unified baseline. */
+    double normalized(const workloads::Benchmark &bench,
+                      const BenchmarkRun &r);
+
+    /** Stall fraction of normalised time (the white bar segments). */
+    double normalizedStall(const workloads::Benchmark &bench,
+                           const BenchmarkRun &r);
+
+  private:
+    /** Reference-config unroll decision per loop, cached. */
+    const std::vector<int> &
+    unrollFactors(const workloads::Benchmark &bench);
+
+    std::map<std::string, std::vector<int>> unrollCache;
+    std::map<std::string, BenchmarkRun> baselineCache;
+};
+
+/** Arithmetic mean of a vector (the paper's AMEAN column). */
+double amean(const std::vector<double> &xs);
+
+} // namespace l0vliw::driver
+
+#endif // L0VLIW_DRIVER_RUNNER_HH

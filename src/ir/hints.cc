@@ -1,0 +1,38 @@
+#include "ir/hints.hh"
+
+namespace l0vliw::ir
+{
+
+const char *
+toString(AccessHint h)
+{
+    switch (h) {
+      case AccessHint::NoAccess: return "NO_ACCESS";
+      case AccessHint::SeqAccess: return "SEQ_ACCESS";
+      case AccessHint::ParAccess: return "PAR_ACCESS";
+    }
+    return "?";
+}
+
+const char *
+toString(MapHint h)
+{
+    switch (h) {
+      case MapHint::LinearMap: return "LINEAR_MAP";
+      case MapHint::InterleavedMap: return "INTERLEAVED_MAP";
+    }
+    return "?";
+}
+
+const char *
+toString(PrefetchHint h)
+{
+    switch (h) {
+      case PrefetchHint::NoPrefetch: return "NO_PREFETCH";
+      case PrefetchHint::Positive: return "POSITIVE";
+      case PrefetchHint::Negative: return "NEGATIVE";
+    }
+    return "?";
+}
+
+} // namespace l0vliw::ir

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Compiler hints attached to memory instructions (paper Section 3.2).
+ *
+ * Access hints are directives: the hardware must honour them because
+ * they control bus arbitration and coherence. Mapping and prefetch
+ * hints are performance hints the hardware may ignore.
+ */
+
+#ifndef L0VLIW_IR_HINTS_HH
+#define L0VLIW_IR_HINTS_HH
+
+namespace l0vliw::ir
+{
+
+/** Whether and how a memory instruction accesses its local L0 buffer. */
+enum class AccessHint
+{
+    /** Bypass L0 entirely; go straight to L1; never allocate in L0. */
+    NoAccess,
+    /**
+     * Probe L0 first; forward to L1 on a miss. Legal only when no other
+     * memory instruction is scheduled in the same cluster in the next
+     * cycle, so the forwarded request finds the cluster-to-L1 bus free
+     * (Section 3.2). Loads only.
+     */
+    SeqAccess,
+    /** Access L0 and L1 in parallel; the L1 reply is dropped on a hit. */
+    ParAccess,
+};
+
+/** How a subblock is carved out of an L1 block on an L0 fill. */
+enum class MapHint
+{
+    /** One subblock of consecutive bytes, filled into one cluster. */
+    LinearMap,
+    /**
+     * The whole L1 block is split element-wise across the N clusters;
+     * the subblock holding the accessed element lands in the accessing
+     * cluster, the rest in consecutive clusters. Costs one extra cycle
+     * of shift/interleave logic.
+     */
+    InterleavedMap,
+};
+
+/** Automatic prefetch behaviour triggered by subblock boundary hits. */
+enum class PrefetchHint
+{
+    NoPrefetch,
+    /** Prefetch the next subblock when the last element is accessed. */
+    Positive,
+    /** Prefetch the previous subblock when the first element is hit. */
+    Negative,
+};
+
+/** Short text labels used in traces and tables. */
+const char *toString(AccessHint h);
+const char *toString(MapHint h);
+const char *toString(PrefetchHint h);
+
+} // namespace l0vliw::ir
+
+#endif // L0VLIW_IR_HINTS_HH

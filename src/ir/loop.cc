@@ -1,0 +1,182 @@
+#include "ir/loop.hh"
+
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace l0vliw::ir
+{
+
+OpId
+Loop::addOp(Operation op)
+{
+    op.id = static_cast<OpId>(_ops.size());
+    _ops.push_back(std::move(op));
+    return _ops.back().id;
+}
+
+int
+Loop::addArray(ArrayInfo info)
+{
+    _arrays.push_back(std::move(info));
+    return static_cast<int>(_arrays.size()) - 1;
+}
+
+void
+Loop::addRegEdge(OpId src, OpId dst, int distance)
+{
+    _edges.push_back({src, dst, DepKind::Reg, distance, false});
+}
+
+void
+Loop::addMemEdge(OpId src, OpId dst, int distance, bool conservative)
+{
+    _edges.push_back({src, dst, DepKind::Mem, distance, conservative});
+}
+
+Operation &
+Loop::op(OpId id)
+{
+    L0_ASSERT(id >= 0 && id < numOps(), "op id %d out of range", id);
+    return _ops[id];
+}
+
+const Operation &
+Loop::op(OpId id) const
+{
+    L0_ASSERT(id >= 0 && id < numOps(), "op id %d out of range", id);
+    return _ops[id];
+}
+
+const ArrayInfo &
+Loop::array(int idx) const
+{
+    L0_ASSERT(idx >= 0 && idx < static_cast<int>(_arrays.size()),
+              "array index %d out of range", idx);
+    return _arrays[idx];
+}
+
+std::vector<const DepEdge *>
+Loop::succs(OpId id) const
+{
+    std::vector<const DepEdge *> out;
+    for (const auto &e : _edges)
+        if (e.src == id)
+            out.push_back(&e);
+    return out;
+}
+
+std::vector<const DepEdge *>
+Loop::preds(OpId id) const
+{
+    std::vector<const DepEdge *> out;
+    for (const auto &e : _edges)
+        if (e.dst == id)
+            out.push_back(&e);
+    return out;
+}
+
+int
+Loop::numMemOps() const
+{
+    int n = 0;
+    for (const auto &o : _ops)
+        if (isMemKind(o.kind))
+            ++n;
+    return n;
+}
+
+void
+Loop::validate() const
+{
+    const int n = numOps();
+    for (const auto &e : _edges) {
+        L0_ASSERT(e.src >= 0 && e.src < n && e.dst >= 0 && e.dst < n,
+                  "edge endpoint out of range in loop %s", _name.c_str());
+        L0_ASSERT(e.distance >= 0, "negative edge distance");
+        if (e.kind == DepKind::Mem) {
+            L0_ASSERT(isMemKind(_ops[e.src].kind)
+                          && isMemKind(_ops[e.dst].kind),
+                      "memory edge between non-memory ops");
+        }
+    }
+    for (const auto &o : _ops) {
+        if (isMemKind(o.kind)) {
+            L0_ASSERT(o.mem.array >= 0
+                          && o.mem.array < static_cast<int>(_arrays.size()),
+                      "memory op %d has no array", o.id);
+            L0_ASSERT(o.mem.elemSize == 1 || o.mem.elemSize == 2
+                          || o.mem.elemSize == 4 || o.mem.elemSize == 8,
+                      "memory op %d has bad element size %d", o.id,
+                      o.mem.elemSize);
+        }
+    }
+
+    // Reject zero-distance cycles: with all distance-0 edges the DDG
+    // must be acyclic or no schedule exists at any II.
+    std::vector<int> state(n, 0); // 0 = unvisited, 1 = on stack, 2 = done
+    std::function<void(OpId)> dfs = [&](OpId u) {
+        state[u] = 1;
+        for (const auto &e : _edges) {
+            if (e.src != u || e.distance != 0)
+                continue;
+            if (state[e.dst] == 1)
+                panic("zero-distance dependence cycle through op %d in %s",
+                      e.dst, _name.c_str());
+            if (state[e.dst] == 0)
+                dfs(e.dst);
+        }
+        state[u] = 2;
+    };
+    for (OpId u = 0; u < n; ++u)
+        if (state[u] == 0)
+            dfs(u);
+}
+
+Loop
+unrollLoop(const Loop &loop, int factor)
+{
+    L0_ASSERT(factor >= 1, "unroll factor must be >= 1");
+    if (factor == 1) {
+        Loop copy = loop;
+        copy.setUnrollFactor(1);
+        return copy;
+    }
+
+    Loop out(loop.name() + "_u" + std::to_string(factor));
+    for (const auto &a : loop.arrays())
+        out.addArray(a);
+
+    const int n = loop.numOps();
+    // newId[k][i] = id of copy k of original op i.
+    std::vector<std::vector<OpId>> new_id(factor, std::vector<OpId>(n));
+    for (int k = 0; k < factor; ++k) {
+        for (OpId i = 0; i < n; ++i) {
+            Operation op = loop.op(i);
+            op.tag += "#" + std::to_string(k);
+            if (isMemKind(op.kind)) {
+                op.mem.offsetElems += k * op.mem.strideElems;
+                op.mem.strideElems *= factor;
+            }
+            new_id[k][i] = out.addOp(op);
+        }
+    }
+    for (const auto &e : loop.edges()) {
+        for (int k = 0; k < factor; ++k) {
+            int t = k + e.distance;
+            int dst_copy = t % factor;
+            int new_dist = t / factor;
+            if (e.kind == DepKind::Reg)
+                out.addRegEdge(new_id[k][e.src], new_id[dst_copy][e.dst],
+                               new_dist);
+            else
+                out.addMemEdge(new_id[k][e.src], new_id[dst_copy][e.dst],
+                               new_dist, e.conservative);
+        }
+    }
+    out.setUnrollFactor(factor * loop.unrollFactor());
+    out.setSpecialized(loop.specialized());
+    return out;
+}
+
+} // namespace l0vliw::ir

@@ -1,0 +1,107 @@
+#include "ir/memdep.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace l0vliw::ir
+{
+
+namespace
+{
+
+/** Plain union-find over op ids. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(int n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+
+    int
+    find(int x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void unite(int a, int b) { parent[find(a)] = find(b); }
+
+  private:
+    std::vector<int> parent;
+};
+
+} // namespace
+
+std::vector<std::vector<OpId>>
+memoryDependentSets(const Loop &loop)
+{
+    UnionFind uf(loop.numOps());
+    for (const auto &e : loop.edges())
+        if (e.kind == DepKind::Mem)
+            uf.unite(e.src, e.dst);
+
+    std::map<int, std::vector<OpId>> groups;
+    for (OpId i = 0; i < loop.numOps(); ++i)
+        if (isMemKind(loop.op(i).kind))
+            groups[uf.find(i)].push_back(i);
+
+    std::vector<std::vector<OpId>> out;
+    out.reserve(groups.size());
+    for (auto &kv : groups) {
+        std::sort(kv.second.begin(), kv.second.end());
+        out.push_back(std::move(kv.second));
+    }
+    return out;
+}
+
+bool
+setHasLoadAndStore(const Loop &loop, const std::vector<OpId> &set)
+{
+    bool has_load = false, has_store = false;
+    for (OpId id : set) {
+        OpKind k = loop.op(id).kind;
+        has_load |= (k == OpKind::Load);
+        has_store |= (k == OpKind::Store);
+    }
+    return has_load && has_store;
+}
+
+Loop
+specializeLoop(const Loop &loop)
+{
+    Loop out(loop.name() + "_spec");
+    for (const auto &a : loop.arrays())
+        out.addArray(a);
+    for (const auto &o : loop.ops()) {
+        Operation copy = o;
+        out.addOp(copy);
+    }
+    for (const auto &e : loop.edges()) {
+        if (e.kind == DepKind::Mem && e.conservative)
+            continue;
+        if (e.kind == DepKind::Reg)
+            out.addRegEdge(e.src, e.dst, e.distance);
+        else
+            out.addMemEdge(e.src, e.dst, e.distance, false);
+    }
+    out.setUnrollFactor(loop.unrollFactor());
+    out.setSpecialized(true);
+    return out;
+}
+
+int
+countConservativeEdges(const Loop &loop)
+{
+    int n = 0;
+    for (const auto &e : loop.edges())
+        if (e.kind == DepKind::Mem && e.conservative)
+            ++n;
+    return n;
+}
+
+} // namespace l0vliw::ir

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Memory-dependent sets and code specialization (paper Section 4.1).
+ *
+ * The scheduler groups memory instructions into sets Si of mutually
+ * dependent operations (per the compiler's disambiguation). Sets that
+ * mix loads and stores constrain cluster assignment (NL0 / 1C / PSR).
+ * Code specialization produces an aggressive loop version with the
+ * conservative (may-alias) edges stripped, guarded by a runtime check.
+ */
+
+#ifndef L0VLIW_IR_MEMDEP_HH
+#define L0VLIW_IR_MEMDEP_HH
+
+#include <vector>
+
+#include "ir/loop.hh"
+
+namespace l0vliw::ir
+{
+
+/**
+ * Partition the loop's memory operations into memory-dependent sets.
+ *
+ * Two memory operations are in the same set when they are connected
+ * (in either direction) by memory edges. Singleton sets are returned
+ * too; callers filter as needed.
+ *
+ * @return one vector of op ids per set, each sorted ascending.
+ */
+std::vector<std::vector<OpId>> memoryDependentSets(const Loop &loop);
+
+/** True when the set contains at least one load and one store. */
+bool setHasLoadAndStore(const Loop &loop, const std::vector<OpId> &set);
+
+/**
+ * Code specialization: return the aggressive version of @p loop with
+ * every conservative memory edge removed and the specialized flag set.
+ * The caller is responsible for charging the runtime-check overhead
+ * (a few cycles per invocation) and for only using the aggressive
+ * version when the checks pass — in our workload models, as in the
+ * paper's experiments for epicdec/pgpdec/pgpenc/rasta, they always do.
+ */
+Loop specializeLoop(const Loop &loop);
+
+/** Number of conservative memory edges in @p loop. */
+int countConservativeEdges(const Loop &loop);
+
+} // namespace l0vliw::ir
+
+#endif // L0VLIW_IR_MEMDEP_HH

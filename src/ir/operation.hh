@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Operations of the loop-level IR.
+ *
+ * The reproduction works at the level the paper's compiler works at: an
+ * inner loop is a data-dependence graph of operations. Memory
+ * operations carry the stride metadata (element size, stride, offset)
+ * that IMPACT derives statically and that drives every decision in the
+ * paper: candidate selection (strided ops), the unroll choice, the
+ * linear/interleaved mapping choice, and prefetch-hint assignment.
+ */
+
+#ifndef L0VLIW_IR_OPERATION_HH
+#define L0VLIW_IR_OPERATION_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace l0vliw::ir
+{
+
+/** Kinds of IR operations. */
+enum class OpKind
+{
+    IntAlu,     ///< 1-cycle integer operation
+    IntMul,     ///< 2-cycle integer multiply
+    FpAlu,      ///< pipelined floating-point operation
+    Load,       ///< memory load
+    Store,      ///< memory store (write-through at L0)
+    Prefetch,   ///< explicit software prefetch (added by the scheduler)
+};
+
+/** True for operations that occupy a memory functional-unit slot. */
+constexpr bool
+isMemKind(OpKind k)
+{
+    return k == OpKind::Load || k == OpKind::Store || k == OpKind::Prefetch;
+}
+
+/**
+ * Static description of a memory operation's address stream.
+ *
+ * Addresses are affine in the iteration index i of the (possibly
+ * unrolled) loop: array_base + elemSize * (offsetElems + strideElems*i).
+ * Irregular accesses (strided == false) walk a deterministic
+ * pseudo-random sequence inside the array and are never L0 candidates.
+ */
+struct MemInfo
+{
+    int array = -1;          ///< index into the owning loop's array table
+    int elemSize = 4;        ///< access granularity in bytes (1, 2, 4, 8)
+    long strideElems = 0;    ///< elements advanced per loop iteration
+    long offsetElems = 0;    ///< constant element offset from the base
+    bool strided = true;     ///< false => irregular, non-candidate access
+
+    /**
+     * For PSR store replicas: only the primary instance writes data;
+     * non-primary replicas just invalidate matching local L0 entries.
+     */
+    bool primaryStore = true;
+
+    /**
+     * True on the primary instance of a PSR-replicated store. Its L1
+     * write also cancels matching in-flight L0 fills: a fill issued
+     * after the replicas passed but completing before the primary's
+     * write would otherwise deliver a stale copy nobody invalidates.
+     */
+    bool psrReplicated = false;
+
+    /** Byte distance between consecutive accesses of this operation. */
+    long strideBytes() const { return strideElems * elemSize; }
+};
+
+/** One IR operation (a node of the loop's data-dependence graph). */
+struct Operation
+{
+    OpId id = kNoOp;
+    OpKind kind = OpKind::IntAlu;
+    MemInfo mem;        ///< valid only when isMemKind(kind)
+    std::string tag;    ///< human-readable label for traces and tests
+
+    /**
+     * Hard cluster constraint (kNoCluster = free). Used by the PSR
+     * transform, whose store instances must land in distinct clusters.
+     */
+    ClusterId fixedCluster = kNoCluster;
+};
+
+} // namespace l0vliw::ir
+
+#endif // L0VLIW_IR_OPERATION_HH

@@ -1,0 +1,53 @@
+#include "mem/backing.hh"
+
+namespace l0vliw::mem
+{
+
+std::uint8_t
+Backing::defaultByte(Addr addr)
+{
+    // Cheap per-byte hash; any fixed mixing function works as long as
+    // the oracle uses the same one.
+    std::uint64_t z = addr + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint8_t>(z ^ (z >> 31));
+}
+
+Backing::Page &
+Backing::pageFor(Addr addr)
+{
+    Addr page_id = addr / pageBytes;
+    auto it = pages.find(page_id);
+    if (it == pages.end()) {
+        Page p;
+        p.data.resize(pageBytes);
+        Addr base = page_id * pageBytes;
+        for (Addr i = 0; i < pageBytes; ++i)
+            p.data[i] = defaultByte(base + i);
+        it = pages.emplace(page_id, std::move(p)).first;
+    }
+    return it->second;
+}
+
+void
+Backing::read(Addr addr, std::uint8_t *out, int size) const
+{
+    for (int i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        auto it = pages.find(a / pageBytes);
+        out[i] = it == pages.end() ? defaultByte(a)
+                                   : it->second.data[a % pageBytes];
+    }
+}
+
+void
+Backing::write(Addr addr, const std::uint8_t *in, int size)
+{
+    for (int i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        pageFor(a).data[a % pageBytes] = in[i];
+    }
+}
+
+} // namespace l0vliw::mem

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Byte-addressed backing store standing in for L2 / main memory.
+ *
+ * Table 2 gives L2 a fixed 10-cycle latency and it always hits, so no
+ * tag state is needed — only data. Every level above is write-through
+ * in this reproduction, so the backing store always holds the current
+ * value of every byte; stale data can only live in L0 buffers, which
+ * is exactly the coherence hazard the paper's compiler manages.
+ *
+ * Unwritten bytes read as a deterministic per-address pattern so that
+ * cold loads are reproducible and checkable by the oracle.
+ */
+
+#ifndef L0VLIW_MEM_BACKING_HH
+#define L0VLIW_MEM_BACKING_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace l0vliw::mem
+{
+
+/** Sparse paged byte store with deterministic default contents. */
+class Backing
+{
+  public:
+    /** Read @p size bytes at @p addr into @p out. */
+    void read(Addr addr, std::uint8_t *out, int size) const;
+
+    /** Write @p size bytes from @p in at @p addr. */
+    void write(Addr addr, const std::uint8_t *in, int size);
+
+    /** The deterministic content of an unwritten byte. */
+    static std::uint8_t defaultByte(Addr addr);
+
+    /** Drop all written data (reset to the default pattern). */
+    void clear() { pages.clear(); }
+
+  private:
+    static constexpr Addr pageBytes = 4096;
+
+    struct Page
+    {
+        std::vector<std::uint8_t> data;
+    };
+
+    /** Get the page holding @p addr, materialising it on demand. */
+    Page &pageFor(Addr addr);
+
+    std::unordered_map<Addr, Page> pages;
+};
+
+} // namespace l0vliw::mem
+
+#endif // L0VLIW_MEM_BACKING_HH

@@ -1,0 +1,99 @@
+#include "mem/interleaved.hh"
+
+#include "common/logging.hh"
+
+namespace l0vliw::mem
+{
+
+InterleavedMemSystem::InterleavedMemSystem(
+        const machine::MachineConfig &config)
+    : MemSystem(config)
+{
+    int slice_bytes = config.l1SizeBytes / config.numClusters;
+    // Slices cache their share of each block; 8-byte slice lines keep
+    // the geometry comparable to the L0 subblocks.
+    for (int c = 0; c < config.numClusters; ++c) {
+        slices.emplace_back(slice_bytes, config.l1Assoc, 8);
+        abs.push_back(TagCache::fullyAssociative(config.abEntries,
+                                                 config.wiWordBytes));
+    }
+}
+
+Addr
+InterleavedMemSystem::localAddr(Addr addr) const
+{
+    Addr word = addr / cfg.wiWordBytes;
+    Addr local_word = word / cfg.numClusters;
+    return local_word * cfg.wiWordBytes + addr % cfg.wiWordBytes;
+}
+
+MemAccessResult
+InterleavedMemSystem::access(const MemAccess &acc, Cycle now,
+                             const std::uint8_t *store_data,
+                             std::uint8_t *load_out)
+{
+    MemAccessResult res;
+    ClusterId home = owner(acc.addr);
+    // Accesses spanning an ownership boundary involve two clusters;
+    // they behave like remote accesses (rare: only misaligned or
+    // 8-byte accesses can span 4-byte words).
+    bool spans = owner(acc.addr + acc.size - 1) != home;
+
+    if (!acc.isLoad && !acc.isPrefetch) {
+        L0_ASSERT(store_data != nullptr, "store without data");
+        // Update the home slice (no allocate), write through backing,
+        // keep ABs coherent: the writer's own AB copy is updated
+        // in place (same data path), every remote AB copy is dropped.
+        slices[home].access(localAddr(acc.addr), /*allocate=*/false);
+        for (int c = 0; c < cfg.numClusters; ++c) {
+            if (c == acc.cluster)
+                continue;
+            if (abs[c].invalidate(acc.addr))
+                statSet.add("ab_store_invalidations");
+        }
+        back.write(acc.addr, store_data, acc.size);
+        statSet.add(home == acc.cluster ? "wi_local_stores"
+                                        : "wi_remote_stores");
+        res.ready = now + 1;
+        res.local = home == acc.cluster;
+        return res;
+    }
+
+    // Loads and prefetches.
+    if (home == acc.cluster && !spans) {
+        bool hit = slices[home].access(localAddr(acc.addr),
+                                       /*allocate=*/true);
+        statSet.add(hit ? "wi_local_hits" : "wi_local_misses");
+        res.ready = now + cfg.wiLocalHitLatency
+                    + (hit ? 0 : cfg.l2Latency);
+        res.local = true;
+        res.l1Hit = hit;
+        if (!hit && cfg.sliceSeqPrefetch) {
+            // Sequential tagged prefetch within the slice's own
+            // (home-compacted) address space.
+            slices[home].access(localAddr(acc.addr) + 8,
+                                /*allocate=*/true);
+        }
+    } else {
+        // Remote word: try the local Attraction Buffer first.
+        if (abs[acc.cluster].access(acc.addr, /*allocate=*/false)) {
+            statSet.add("ab_hits");
+            res.ready = now + cfg.wiLocalHitLatency;
+            res.local = true;
+        } else {
+            statSet.add("wi_remote_accesses");
+            bool hit = slices[home].access(localAddr(acc.addr),
+                                           /*allocate=*/true);
+            res.ready = now + cfg.wiLocalHitLatency + cfg.wiRemotePenalty
+                        + (hit ? 0 : cfg.l2Latency);
+            res.local = false;
+            res.l1Hit = hit;
+            abs[acc.cluster].access(acc.addr, /*allocate=*/true);
+        }
+    }
+    if (acc.isLoad && load_out)
+        back.read(acc.addr, load_out, acc.size);
+    return res;
+}
+
+} // namespace l0vliw::mem

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Word-interleaved distributed cache with Attraction Buffers
+ * (Section 5.3, after Gibert et al., MICRO-2002).
+ *
+ * Words of wiWordBytes are statically round-robined across the
+ * clusters' cache slices: owner(addr) = (addr / wordBytes) mod N. An
+ * access from the owner cluster is local; any other cluster pays the
+ * inter-cluster round trip. Each cluster also has a small fully
+ * associative Attraction Buffer that caches remotely-mapped words;
+ * hardware keeps ABs coherent (stores invalidate remote AB copies), so
+ * — unlike the L0 buffers — they need no compiler management, but they
+ * are inflexible: the static word-to-cluster binding stays.
+ */
+
+#ifndef L0VLIW_MEM_INTERLEAVED_HH
+#define L0VLIW_MEM_INTERLEAVED_HH
+
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "mem/tag_cache.hh"
+
+namespace l0vliw::mem
+{
+
+/** Word-interleaved slices plus Attraction Buffers. */
+class InterleavedMemSystem : public MemSystem
+{
+  public:
+    explicit InterleavedMemSystem(const machine::MachineConfig &config);
+
+    MemAccessResult access(const MemAccess &acc, Cycle now,
+                           const std::uint8_t *store_data,
+                           std::uint8_t *load_out) override;
+
+    /** Cluster statically owning the word at @p addr. */
+    ClusterId owner(Addr addr) const
+    {
+        return static_cast<ClusterId>(
+            (addr / cfg.wiWordBytes) % cfg.numClusters);
+    }
+
+  private:
+    /**
+     * Slice-local address: word index within the owner's slice, with
+     * the byte offset preserved, so the slice's set indexing sees a
+     * dense address space.
+     */
+    Addr localAddr(Addr addr) const;
+
+    std::vector<TagCache> slices;
+    std::vector<TagCache> abs; // attraction buffers (word-grained)
+};
+
+} // namespace l0vliw::mem
+
+#endif // L0VLIW_MEM_INTERLEAVED_HH

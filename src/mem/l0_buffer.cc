@@ -1,0 +1,262 @@
+#include "mem/l0_buffer.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace l0vliw::mem
+{
+
+L0Buffer::L0Buffer(int num_entries, int subblock_bytes, int num_clusters)
+    : numEntries(num_entries), subblockBytes(subblock_bytes),
+      numClusters(num_clusters)
+{
+    L0_ASSERT(subblockBytes > 0 && numClusters > 0, "bad L0 geometry");
+    if (numEntries > 0)
+        entries.resize(numEntries);
+}
+
+bool
+L0Buffer::contains(const L0Entry &e, Addr addr, int size) const
+{
+    if (!e.valid)
+        return false;
+    const Addr block_bytes =
+        static_cast<Addr>(subblockBytes) * numClusters;
+    if (addr < e.blockAddr || addr + size > e.blockAddr + block_bytes)
+        return false;
+    if (e.kind == ir::MapHint::LinearMap) {
+        Addr base = e.blockAddr + static_cast<Addr>(e.index) * subblockBytes;
+        return addr >= base && addr + size <= base + subblockBytes;
+    }
+    // Interleaved: the access must land inside a single element whose
+    // residue matches. Accesses wider than the interleaving factor span
+    // elements held by other clusters, which Section 3.3 defines as an
+    // L0 miss (L1 is always up to date).
+    if (size > e.factor)
+        return false;
+    Addr off = addr - e.blockAddr;
+    Addr first_elem = off / e.factor;
+    Addr last_elem = (off + size - 1) / e.factor;
+    if (first_elem != last_elem)
+        return false;
+    return static_cast<int>(first_elem % numClusters) == e.index;
+}
+
+int
+L0Buffer::payloadOffset(const L0Entry &e, Addr addr, int size) const
+{
+    if (!contains(e, addr, size))
+        return -1;
+    if (e.kind == ir::MapHint::LinearMap) {
+        Addr base = e.blockAddr + static_cast<Addr>(e.index) * subblockBytes;
+        return static_cast<int>(addr - base);
+    }
+    Addr off = addr - e.blockAddr;
+    Addr elem = off / e.factor;
+    Addr slot = elem / numClusters; // elements packed densely by residue
+    return static_cast<int>(slot * e.factor + off % e.factor);
+}
+
+L0Lookup
+L0Buffer::lookup(Addr addr, int size, std::uint8_t *out)
+{
+    L0Lookup res;
+    L0Entry *best = nullptr;
+    int best_idx = -1;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        L0Entry &e = entries[i];
+        if (!contains(e, addr, size))
+            continue;
+        if (!best || e.lastUse > best->lastUse) {
+            best = &e;
+            best_idx = static_cast<int>(i);
+        }
+    }
+    if (!best) {
+        statSet.add("l0_misses");
+        return res;
+    }
+    best->lastUse = ++useClock;
+    res.hit = true;
+    res.entry = best_idx;
+    int off = payloadOffset(*best, addr, size);
+    if (out)
+        std::memcpy(out, best->data.data() + off, size);
+
+    // Boundary detection for the POSITIVE / NEGATIVE prefetch hints:
+    // did this access touch the subblock's extremal element?
+    res.firstElement = off == 0;
+    res.lastElement = off + size == subblockBytes;
+    if (best->kind == ir::MapHint::InterleavedMap) {
+        // The subblock's elements are packed densely; the extremal
+        // elements are the first/last factor-sized slots.
+        res.firstElement = off < best->factor;
+        res.lastElement = off + size > subblockBytes - best->factor;
+    }
+    statSet.add("l0_hits");
+    return res;
+}
+
+L0Entry &
+L0Buffer::victim()
+{
+    if (unbounded()) {
+        entries.emplace_back();
+        entries.back().data.resize(subblockBytes);
+        return entries.back();
+    }
+    L0Entry *v = &entries[0];
+    for (auto &e : entries) {
+        if (!e.valid)
+            return e;
+        if (e.lastUse < v->lastUse)
+            v = &e;
+    }
+    statSet.add("l0_evictions");
+    return *v;
+}
+
+void
+L0Buffer::fillLinear(Addr block_addr, int sub_index,
+                     const std::uint8_t *sub_data)
+{
+    if (hasLinear(block_addr, sub_index)) {
+        // Refill of a present subblock: refresh the data (it may be a
+        // demand refill racing a prefetch); no new entry.
+        for (auto &e : entries) {
+            if (e.valid && e.kind == ir::MapHint::LinearMap
+                    && e.blockAddr == block_addr && e.index == sub_index) {
+                std::memcpy(e.data.data(), sub_data, subblockBytes);
+                return;
+            }
+        }
+    }
+    L0Entry &e = victim();
+    e.valid = true;
+    e.blockAddr = block_addr;
+    e.kind = ir::MapHint::LinearMap;
+    e.index = sub_index;
+    e.factor = 0;
+    e.lastUse = ++useClock;
+    if (e.data.size() != static_cast<std::size_t>(subblockBytes))
+        e.data.resize(subblockBytes);
+    std::memcpy(e.data.data(), sub_data, subblockBytes);
+    statSet.add("l0_fills_linear");
+}
+
+void
+L0Buffer::fillInterleaved(Addr block_addr, int factor, int residue,
+                          const std::uint8_t *block_data)
+{
+    L0_ASSERT(factor > 0 && subblockBytes % factor == 0,
+              "interleave factor %d incompatible with %d-byte subblocks",
+              factor, subblockBytes);
+    // Gather this residue's elements from the whole block.
+    std::vector<std::uint8_t> packed(subblockBytes);
+    int slots = subblockBytes / factor;
+    for (int s = 0; s < slots; ++s) {
+        int elem = s * numClusters + residue;
+        std::memcpy(packed.data() + s * factor,
+                    block_data + elem * factor, factor);
+    }
+
+    for (auto &e : entries) {
+        if (e.valid && e.kind == ir::MapHint::InterleavedMap
+                && e.blockAddr == block_addr && e.factor == factor
+                && e.index == residue) {
+            std::memcpy(e.data.data(), packed.data(), subblockBytes);
+            return;
+        }
+    }
+    L0Entry &e = victim();
+    e.valid = true;
+    e.blockAddr = block_addr;
+    e.kind = ir::MapHint::InterleavedMap;
+    e.index = residue;
+    e.factor = factor;
+    e.lastUse = ++useClock;
+    if (e.data.size() != static_cast<std::size_t>(subblockBytes))
+        e.data.resize(subblockBytes);
+    std::memcpy(e.data.data(), packed.data(), subblockBytes);
+    statSet.add("l0_fills_interleaved");
+}
+
+bool
+L0Buffer::store(Addr addr, int size, const std::uint8_t *in)
+{
+    // Update the most recently used matching copy; invalidate the rest
+    // (one write port, Section 4.1 intra-cluster coherence).
+    L0Entry *update = nullptr;
+    for (auto &e : entries) {
+        if (!contains(e, addr, size))
+            continue;
+        if (!update || e.lastUse > update->lastUse)
+            update = &e;
+    }
+    if (!update)
+        return false;
+    for (auto &e : entries) {
+        if (&e != update && contains(e, addr, size)) {
+            e.valid = false;
+            statSet.add("l0_store_dup_invalidations");
+        }
+    }
+    int off = payloadOffset(*update, addr, size);
+    std::memcpy(update->data.data() + off, in, size);
+    statSet.add("l0_store_updates");
+    return true;
+}
+
+void
+L0Buffer::invalidateMatching(Addr addr, int size)
+{
+    for (auto &e : entries) {
+        if (contains(e, addr, size)) {
+            e.valid = false;
+            statSet.add("l0_psr_invalidations");
+        }
+    }
+}
+
+void
+L0Buffer::invalidateAll()
+{
+    for (auto &e : entries)
+        e.valid = false;
+    if (unbounded())
+        entries.clear();
+    statSet.add("l0_flushes");
+}
+
+bool
+L0Buffer::hasLinear(Addr block_addr, int sub_index) const
+{
+    for (const auto &e : entries)
+        if (e.valid && e.kind == ir::MapHint::LinearMap
+                && e.blockAddr == block_addr && e.index == sub_index)
+            return true;
+    return false;
+}
+
+bool
+L0Buffer::hasInterleaved(Addr block_addr, int factor, int residue) const
+{
+    for (const auto &e : entries)
+        if (e.valid && e.kind == ir::MapHint::InterleavedMap
+                && e.blockAddr == block_addr && e.factor == factor
+                && e.index == residue)
+            return true;
+    return false;
+}
+
+int
+L0Buffer::validEntries() const
+{
+    int n = 0;
+    for (const auto &e : entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace l0vliw::mem

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unified L1 plus flexible compiler-managed L0 buffers: the paper's
+ * proposed architecture (Section 3).
+ */
+
+#ifndef L0VLIW_MEM_L0_SYSTEM_HH
+#define L0VLIW_MEM_L0_SYSTEM_HH
+
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/l0_buffer.hh"
+#include "mem/mem_system.hh"
+#include "mem/tag_cache.hh"
+
+namespace l0vliw::mem
+{
+
+/**
+ * Timing and data model:
+ *
+ *  - SEQ_ACCESS loads probe the local L0 (1 cycle); on a miss the
+ *    request is forwarded on the cluster bus the next cycle — the
+ *    compiler's SEQ legality rule guarantees no demand access competes
+ *    for that slot.
+ *  - PAR_ACCESS loads launch the bus/L1 access in parallel with the L0
+ *    probe; an L0 hit drops the L1 reply.
+ *  - A miss with LINEAR_MAP fills one subblock into the accessing
+ *    cluster. A miss with INTERLEAVED_MAP reads the whole L1 block,
+ *    pays one cycle of shift/interleave logic, and scatters all N
+ *    residues across the N clusters' buffers.
+ *  - Fills are in flight until their ready cycle; an access covered by
+ *    an in-flight fill waits for it (no duplicate L1 request) and is
+ *    counted as a miss — this is the "prefetched too late" stall the
+ *    paper reports for epicdec and rasta.
+ *  - POSITIVE/NEGATIVE prefetch hints trigger when a hit touches the
+ *    last/first element of a subblock; explicit Prefetch operations
+ *    arrive through access() with isPrefetch set.
+ *  - Stores are write-through and never allocate: they update at most
+ *    one matching local L0 copy (PAR_ACCESS) and the L1/backing store;
+ *    PSR replicas only invalidate matching local entries.
+ */
+class L0MemSystem : public MemSystem
+{
+  public:
+    explicit L0MemSystem(const machine::MachineConfig &config);
+
+    MemAccessResult access(const MemAccess &acc, Cycle now,
+                           const std::uint8_t *store_data,
+                           std::uint8_t *load_out) override;
+
+    void endLoop(Cycle now) override;
+
+    /** The L0 buffer of cluster @p c (tests and stats). */
+    L0Buffer &l0(ClusterId c) { return l0s[c]; }
+
+    /** Merged L0 statistics across clusters. */
+    StatSet l0Stats() const;
+
+  private:
+    struct PendingFill
+    {
+        Cycle ready = 0;
+        bool interleaved = false;
+        Addr blockAddr = 0;
+        int subIndex = 0;       ///< linear: sub-slot index
+        int factor = 0;         ///< interleaved: element granularity
+        int firstResidue = 0;   ///< interleaved: residue for firstCluster
+        ClusterId firstCluster = 0;
+    };
+
+    /** Apply every pending fill whose data has arrived by @p now. */
+    void commitFills(Cycle now);
+
+    /** True if an in-flight fill will cover [addr, addr+size). */
+    const PendingFill *coveringFill(const MemAccess &acc) const;
+
+    /** L1 lookup + latency for one block access. */
+    Cycle l1AccessLatency(Addr addr, bool allocate);
+
+    /**
+     * Launch a fill for the access's block using an already-granted
+     * bus slot. @return the data-ready cycle (grant + L1 latency +
+     * interleave penalty if any).
+     */
+    Cycle startFill(const MemAccess &acc, Cycle grant);
+
+    /** Hint-triggered prefetch of the next/previous subblock. */
+    void triggerHintPrefetch(const MemAccess &acc, const L0Lookup &hit,
+                             Cycle now);
+
+    /** Queue a linear subblock prefetch if not present or in flight. */
+    void prefetchLinear(Addr block_addr, int sub_index, ClusterId cluster,
+                        Cycle now);
+
+    /** Queue an interleaved whole-block prefetch. */
+    void prefetchInterleaved(Addr block_addr, int factor, int first_residue,
+                             ClusterId first_cluster, Cycle now);
+
+    TagCache l1;
+    std::vector<Bus> buses;
+    std::vector<L0Buffer> l0s;
+    std::vector<PendingFill> pending;
+};
+
+} // namespace l0vliw::mem
+
+#endif // L0VLIW_MEM_L0_SYSTEM_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Architecture-independent memory-system interface.
+ *
+ * The kernel simulator drives one MemSystem per run. An access carries
+ * the compiler's hints (which the hardware must honour for NO/SEQ/PAR
+ * and may honour for mapping/prefetch), the issuing cluster, and the
+ * stall-adjusted issue cycle; the system returns the cycle the data is
+ * ready plus the bytes the load actually observed (possibly stale if
+ * the compiler mismanaged coherence — the oracle checks).
+ */
+
+#ifndef L0VLIW_MEM_MEM_SYSTEM_HH
+#define L0VLIW_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "ir/hints.hh"
+#include "machine/machine_config.hh"
+#include "mem/backing.hh"
+
+namespace l0vliw::mem
+{
+
+/** One dynamic memory access. */
+struct MemAccess
+{
+    bool isLoad = true;
+    bool isPrefetch = false;    ///< explicit software prefetch
+    Addr addr = 0;
+    int size = 4;
+    ClusterId cluster = 0;
+    ir::AccessHint access = ir::AccessHint::NoAccess;
+    ir::MapHint map = ir::MapHint::LinearMap;
+    ir::PrefetchHint prefetch = ir::PrefetchHint::NoPrefetch;
+    bool primaryStore = true;   ///< false: PSR replica (invalidate only)
+    bool psrReplicated = false; ///< primary of a PSR-replicated store
+};
+
+/** Timing and routing outcome of one access. */
+struct MemAccessResult
+{
+    Cycle ready = 0;        ///< cycle the loaded data can be consumed
+    bool l0Hit = false;     ///< L0-buffer hit (L0 architecture only)
+    bool l1Hit = true;      ///< L1 (or slice) hit
+    bool local = true;      ///< served without crossing clusters
+};
+
+/** Abstract memory hierarchy under the clustered VLIW core. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const machine::MachineConfig &config)
+        : cfg(config)
+    {
+    }
+
+    virtual ~MemSystem() = default;
+
+    /**
+     * Perform one access.
+     *
+     * @param acc the access descriptor
+     * @param now stall-adjusted issue cycle
+     * @param store_data bytes to write (stores; size acc.size)
+     * @param load_out buffer receiving observed bytes (loads; may be
+     *        null when the caller only needs timing)
+     */
+    virtual MemAccessResult access(const MemAccess &acc, Cycle now,
+                                   const std::uint8_t *store_data,
+                                   std::uint8_t *load_out) = 0;
+
+    /**
+     * Loop boundary: the inter-loop coherence flush (invalidate_buffer
+     * scheduled in every cluster). Architectures without L0 buffers
+     * treat this as a no-op.
+     */
+    virtual void endLoop(Cycle now) { (void)now; }
+
+    /** Backing store (for initialisation and the oracle). */
+    Backing &backing() { return back; }
+
+    StatSet &stats() { return statSet; }
+    const StatSet &stats() const { return statSet; }
+
+    const machine::MachineConfig &config() const { return cfg; }
+
+    /** Build the memory system matching @p config.memArch. */
+    static std::unique_ptr<MemSystem>
+    create(const machine::MachineConfig &config);
+
+  protected:
+    machine::MachineConfig cfg;
+    Backing back;
+    StatSet statSet;
+};
+
+} // namespace l0vliw::mem
+
+#endif // L0VLIW_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,92 @@
+#include "mem/tag_cache.hh"
+
+#include "common/logging.hh"
+
+namespace l0vliw::mem
+{
+
+TagCache::TagCache(std::uint64_t size_bytes, int assoc, int block_bytes)
+    : sets(static_cast<int>(size_bytes / (assoc * block_bytes))),
+      ways(assoc), blockBytes(block_bytes)
+{
+    L0_ASSERT(sets >= 1 && ways >= 1, "cache too small");
+    L0_ASSERT((blockBytes & (blockBytes - 1)) == 0,
+              "block size must be a power of two");
+    store.resize(static_cast<std::size_t>(sets) * ways);
+}
+
+TagCache
+TagCache::fullyAssociative(int entries, int block_bytes)
+{
+    return TagCache(static_cast<std::uint64_t>(entries) * block_bytes,
+                    entries, block_bytes);
+}
+
+int
+TagCache::setIndex(Addr addr) const
+{
+    return static_cast<int>((addr / blockBytes) % sets);
+}
+
+bool
+TagCache::access(Addr addr, bool allocate)
+{
+    Addr tag = blockAddr(addr);
+    int s = setIndex(addr);
+    Way *base = &store[static_cast<std::size_t>(s) * ways];
+    Way *victim = base;
+    for (int w = 0; w < ways; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = ++useClock;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    if (allocate) {
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lastUse = ++useClock;
+    }
+    return false;
+}
+
+bool
+TagCache::present(Addr addr) const
+{
+    Addr tag = blockAddr(addr);
+    int s = setIndex(addr);
+    const Way *base = &store[static_cast<std::size_t>(s) * ways];
+    for (int w = 0; w < ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+TagCache::invalidate(Addr addr)
+{
+    Addr tag = blockAddr(addr);
+    int s = setIndex(addr);
+    Way *base = &store[static_cast<std::size_t>(s) * ways];
+    for (int w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TagCache::clear()
+{
+    for (auto &w : store)
+        w.valid = false;
+}
+
+} // namespace l0vliw::mem

@@ -1,0 +1,47 @@
+#include "mem/unified.hh"
+
+#include "common/logging.hh"
+
+namespace l0vliw::mem
+{
+
+UnifiedMemSystem::UnifiedMemSystem(const machine::MachineConfig &config)
+    : MemSystem(config),
+      l1(config.l1SizeBytes, config.l1Assoc, config.l1BlockBytes),
+      buses(config.numClusters)
+{
+}
+
+MemAccessResult
+UnifiedMemSystem::access(const MemAccess &acc, Cycle now,
+                         const std::uint8_t *store_data,
+                         std::uint8_t *load_out)
+{
+    MemAccessResult res;
+    Bus &bus = buses[acc.cluster];
+
+    if (acc.isLoad || acc.isPrefetch) {
+        Cycle grant = bus.reserve(now);
+        bool hit = l1.access(acc.addr, /*allocate=*/true);
+        statSet.add(hit ? "l1_hits" : "l1_misses");
+        Cycle lat = cfg.l1Latency + (hit ? 0 : cfg.l2Latency);
+        res.ready = grant + lat;
+        res.l1Hit = hit;
+        if (acc.isLoad && load_out)
+            back.read(acc.addr, load_out, acc.size);
+        return res;
+    }
+
+    // Store: write-through, non-allocating; completion does not gate
+    // any consumer, so ready is just past issue.
+    L0_ASSERT(store_data != nullptr, "store without data");
+    Cycle grant = bus.reserve(now);
+    bool hit = l1.access(acc.addr, /*allocate=*/false);
+    statSet.add(hit ? "l1_store_hits" : "l1_store_misses");
+    back.write(acc.addr, store_data, acc.size);
+    res.ready = grant + 1;
+    res.l1Hit = hit;
+    return res;
+}
+
+} // namespace l0vliw::mem

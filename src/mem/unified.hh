@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Unified L1 with no L0 buffers: the paper's normalisation baseline.
+ */
+
+#ifndef L0VLIW_MEM_UNIFIED_HH
+#define L0VLIW_MEM_UNIFIED_HH
+
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/mem_system.hh"
+#include "mem/tag_cache.hh"
+
+namespace l0vliw::mem
+{
+
+/**
+ * Every cluster reaches the centralized L1 over its own bus; the
+ * 6-cycle latency of Table 2 already includes the request/response
+ * wire delay. L1 is write-through to the backing store, so data
+ * correctness never depends on L1 content (tags carry the timing).
+ */
+class UnifiedMemSystem : public MemSystem
+{
+  public:
+    explicit UnifiedMemSystem(const machine::MachineConfig &config);
+
+    MemAccessResult access(const MemAccess &acc, Cycle now,
+                           const std::uint8_t *store_data,
+                           std::uint8_t *load_out) override;
+
+  private:
+    TagCache l1;
+    std::vector<Bus> buses; // one per cluster
+};
+
+} // namespace l0vliw::mem
+
+#endif // L0VLIW_MEM_UNIFIED_HH

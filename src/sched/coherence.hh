@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Intra-loop coherence strategies (paper Section 4.1).
+ *
+ * For every memory-dependent set Si that mixes loads and stores the
+ * scheduler picks one of three software coherence strategies:
+ *
+ *  - NL0 ("not use L0"): every member bypasses the buffers and is
+ *    scheduled with the L1 latency; the only copy of the data lives in
+ *    the always-up-to-date L1.
+ *  - 1C ("one cluster"): stores and L0-latency loads of the set share
+ *    one cluster, so the only L0 copy is the one the stores update;
+ *    L1-latency loads of the set may go anywhere.
+ *  - PSR ("partial store replication"): every store is replicated in
+ *    all N clusters; the primary instance updates L0+L1, the replicas
+ *    invalidate their local L0 copy; loads are then unconstrained.
+ *    Following Section 4.1's conclusion, the main flow never picks PSR
+ *    (code specialization removes the sets where it would win), but it
+ *    is implemented for the ablation benchmark.
+ */
+
+#ifndef L0VLIW_SCHED_COHERENCE_HH
+#define L0VLIW_SCHED_COHERENCE_HH
+
+#include <vector>
+
+#include "ir/loop.hh"
+#include "ir/memdep.hh"
+
+namespace l0vliw::sched
+{
+
+/** Coherence policy the scheduler is allowed to use. */
+enum class CoherenceMode
+{
+    /** Choose 1C when profitable, NL0 otherwise (paper main flow). */
+    Auto,
+    /** Always NL0 (lower bound for the ablation). */
+    ForceNL0,
+    /** Partial store replication for every load+store set. */
+    Psr,
+};
+
+/** Per-set treatment decided during scheduling. */
+enum class SetTreatment
+{
+    Unconstrained,  ///< singleton / store-only set: no restriction
+    Undecided,      ///< load+store set not yet visited
+    OneCluster,
+    NotUseL0,
+    PartialStoreReplication,
+};
+
+/**
+ * PSR transform: replicate every store belonging to a load+store set
+ * N-1 extra times. Replica k carries primaryStore=false and inherits
+ * the original's register predecessors (the address must be broadcast
+ * to every cluster, which is where PSR's communication cost comes
+ * from). Memory edges are duplicated so ordering is preserved.
+ *
+ * @return the transformed loop; @p replica_groups receives, for each
+ * replicated store, the ids of its N instances (primary first).
+ */
+ir::Loop psrTransform(const ir::Loop &loop, int num_clusters,
+                      std::vector<std::vector<OpId>> *replica_groups);
+
+} // namespace l0vliw::sched
+
+#endif // L0VLIW_SCHED_COHERENCE_HH

@@ -1,0 +1,112 @@
+#include "sched/mii.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace l0vliw::sched
+{
+
+int
+resMii(const ir::Loop &loop, const machine::MachineConfig &cfg)
+{
+    int int_ops = 0, mem_ops = 0, fp_ops = 0;
+    for (const auto &op : loop.ops()) {
+        switch (op.kind) {
+          case ir::OpKind::IntAlu:
+          case ir::OpKind::IntMul:
+            ++int_ops;
+            break;
+          case ir::OpKind::FpAlu:
+            ++fp_ops;
+            break;
+          case ir::OpKind::Load:
+          case ir::OpKind::Store:
+          case ir::OpKind::Prefetch:
+            ++mem_ops;
+            break;
+        }
+    }
+    auto ceil_div = [](int a, int b) { return (a + b - 1) / b; };
+    int ii = 1;
+    ii = std::max(ii, ceil_div(int_ops,
+                               cfg.intUnitsPerCluster * cfg.numClusters));
+    ii = std::max(ii, ceil_div(mem_ops,
+                               cfg.memUnitsPerCluster * cfg.numClusters));
+    ii = std::max(ii, ceil_div(fp_ops,
+                               cfg.fpUnitsPerCluster * cfg.numClusters));
+    return ii;
+}
+
+namespace
+{
+
+/**
+ * True when the graph with weights lat(e) - ii*dist(e) has a
+ * positive-weight cycle (meaning ii is infeasible).
+ */
+bool
+hasPositiveCycle(const ir::Loop &loop, const LatencyModel &lat, int ii)
+{
+    const int n = loop.numOps();
+    constexpr long neg_inf = std::numeric_limits<long>::min() / 4;
+    std::vector<long> dist(static_cast<std::size_t>(n) * n, neg_inf);
+    auto at = [&](int i, int j) -> long & { return dist[i * n + j]; };
+
+    for (const auto &e : loop.edges()) {
+        long w = lat.edgeLatency(e) - static_cast<long>(ii) * e.distance;
+        at(e.src, e.dst) = std::max(at(e.src, e.dst), w);
+    }
+    for (int k = 0; k < n; ++k) {
+        for (int i = 0; i < n; ++i) {
+            if (at(i, k) == neg_inf)
+                continue;
+            for (int j = 0; j < n; ++j) {
+                if (at(k, j) == neg_inf)
+                    continue;
+                at(i, j) = std::max(at(i, j), at(i, k) + at(k, j));
+            }
+        }
+    }
+    for (int i = 0; i < n; ++i)
+        if (at(i, i) > 0)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+recMii(const ir::Loop &loop, const LatencyModel &lat)
+{
+    // Upper bound: the sum of all edge latencies certainly breaks
+    // every cycle (each cycle has distance >= 1).
+    long bound = 1;
+    for (const auto &e : loop.edges())
+        bound += lat.edgeLatency(e);
+
+    int lo = 1, hi = static_cast<int>(std::min(bound, 4096L));
+    if (!hasPositiveCycle(loop, lat, lo))
+        return lo;
+    while (lo < hi) {
+        int mid = lo + (hi - lo) / 2;
+        if (hasPositiveCycle(loop, lat, mid))
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    L0_ASSERT(!hasPositiveCycle(loop, lat, lo),
+              "recMii search failed for loop %s", loop.name().c_str());
+    return lo;
+}
+
+int
+minII(const ir::Loop &loop, const machine::MachineConfig &cfg,
+      const LatencyModel &lat)
+{
+    return std::max(resMii(loop, cfg), recMii(loop, lat));
+}
+
+} // namespace l0vliw::sched

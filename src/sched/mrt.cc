@@ -1,0 +1,114 @@
+#include "sched/mrt.hh"
+
+#include "common/logging.hh"
+
+namespace l0vliw::sched
+{
+
+FuClass
+fuClassOf(ir::OpKind kind)
+{
+    switch (kind) {
+      case ir::OpKind::IntAlu:
+      case ir::OpKind::IntMul:
+        return FuClass::Int;
+      case ir::OpKind::FpAlu:
+        return FuClass::Fp;
+      case ir::OpKind::Load:
+      case ir::OpKind::Store:
+      case ir::OpKind::Prefetch:
+        return FuClass::Mem;
+    }
+    return FuClass::Int;
+}
+
+Mrt::Mrt(const machine::MachineConfig &config, int ii)
+    : cfg(config), _ii(ii)
+{
+    L0_ASSERT(ii >= 1, "II must be positive");
+    fuUse.assign(static_cast<std::size_t>(cfg.numClusters) * 3 * ii, 0);
+    busUse.assign(ii, 0);
+}
+
+int &
+Mrt::fuCount(ClusterId c, FuClass fu, int r)
+{
+    return fuUse[(static_cast<std::size_t>(c) * 3
+                  + static_cast<int>(fu)) * _ii + r];
+}
+
+const int &
+Mrt::fuCount(ClusterId c, FuClass fu, int r) const
+{
+    return fuUse[(static_cast<std::size_t>(c) * 3
+                  + static_cast<int>(fu)) * _ii + r];
+}
+
+bool
+Mrt::fuFree(ClusterId c, FuClass fu, int cycle) const
+{
+    int limit = 0;
+    switch (fu) {
+      case FuClass::Int: limit = cfg.intUnitsPerCluster; break;
+      case FuClass::Mem: limit = cfg.memUnitsPerCluster; break;
+      case FuClass::Fp: limit = cfg.fpUnitsPerCluster; break;
+    }
+    return fuCount(c, fu, row(cycle)) < limit;
+}
+
+void
+Mrt::reserveFu(ClusterId c, FuClass fu, int cycle)
+{
+    L0_ASSERT(fuFree(c, fu, cycle), "reserving a busy FU slot");
+    ++fuCount(c, fu, row(cycle));
+    undoLog.push_back({false, c, static_cast<int>(fu), row(cycle)});
+}
+
+bool
+Mrt::memSlotBusy(ClusterId c, int cycle) const
+{
+    return fuCount(c, FuClass::Mem, row(cycle)) > 0;
+}
+
+bool
+Mrt::busFree(int cycle) const
+{
+    return busUse[row(cycle)] < cfg.numBuses;
+}
+
+void
+Mrt::reserveBus(int cycle)
+{
+    L0_ASSERT(busFree(cycle), "reserving a busy bus row");
+    ++busUse[row(cycle)];
+    undoLog.push_back({true, 0, 0, row(cycle)});
+}
+
+int
+Mrt::findBusSlot(int lo, int hi) const
+{
+    if (lo > hi)
+        return -1;
+    int limit = std::min(hi, lo + _ii - 1);
+    for (int b = lo; b <= limit; ++b)
+        if (busFree(b))
+            return b;
+    return -1;
+}
+
+void
+Mrt::rollback(Checkpoint cp)
+{
+    L0_ASSERT(cp.log <= undoLog.size(), "bad checkpoint");
+    while (undoLog.size() > cp.log) {
+        const UndoEntry &u = undoLog.back();
+        if (u.isBus)
+            --busUse[u.row];
+        else
+            --fuUse[(static_cast<std::size_t>(u.cluster) * 3 + u.fu) * _ii
+                    + u.row];
+        undoLog.pop_back();
+    }
+}
+
+} // namespace l0vliw::sched

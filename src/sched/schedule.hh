@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The result of modulo scheduling a loop onto the clustered machine.
+ */
+
+#ifndef L0VLIW_SCHED_SCHEDULE_HH
+#define L0VLIW_SCHED_SCHEDULE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/hints.hh"
+#include "ir/loop.hh"
+
+namespace l0vliw::sched
+{
+
+/** Placement and annotations of one operation. */
+struct OpSchedule
+{
+    ClusterId cluster = kNoCluster;
+    /** Flat start cycle; stage = startCycle / II, row = startCycle % II. */
+    int startCycle = -1;
+    /** Latency the scheduler assumed (loads: L0 or L1; others fixed). */
+    int assignedLatency = 1;
+    /** Load scheduled with the L0 latency / marked to use the buffers. */
+    bool usesL0 = false;
+    ir::AccessHint access = ir::AccessHint::NoAccess;
+    ir::MapHint map = ir::MapHint::LinearMap;
+    ir::PrefetchHint prefetch = ir::PrefetchHint::NoPrefetch;
+};
+
+/** One reserved inter-cluster bus transfer (for validation/tests). */
+struct BusTransfer
+{
+    OpId producer = kNoOp;
+    OpId consumer = kNoOp;
+    int startCycle = 0;     ///< flat cycle the transfer starts
+};
+
+/** A complete modulo schedule of one (transformed) loop body. */
+struct Schedule
+{
+    /** The loop body that was actually scheduled (after unrolling and,
+     *  under PSR, store replication). */
+    ir::Loop loop;
+
+    int ii = 0;             ///< initiation interval
+    int stageCount = 0;     ///< overlapped iterations (SC)
+    /** Flat ramp-up depth: the latest start cycle in the schedule. */
+    int rampCycles = 0;
+    std::vector<OpSchedule> ops;    ///< indexed by OpId
+    std::vector<BusTransfer> transfers;
+
+    /** Sum of extra scheduler-inserted operations (explicit prefetches
+     *  live in loop itself; this is for reporting). */
+    int explicitPrefetches = 0;
+
+    /**
+     * Cycles to execute @p trips iterations of the kernel assuming no
+     * stalls: ramp-up of (SC-1) stages plus II per iteration.
+     */
+    std::uint64_t
+    computeCycles(std::uint64_t trips) const
+    {
+        if (trips == 0)
+            return 0;
+        return static_cast<std::uint64_t>(ii) * trips
+               + static_cast<std::uint64_t>(stageCount - 1) * ii;
+    }
+};
+
+} // namespace l0vliw::sched
+
+#endif // L0VLIW_SCHED_SCHEDULE_HH

@@ -1,0 +1,116 @@
+#include "sched/sms.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace l0vliw::sched
+{
+
+SlackInfo
+computeSlack(const ir::Loop &loop, const LatencyModel &lat, int ii)
+{
+    const int n = loop.numOps();
+    SlackInfo info;
+    info.asap.assign(n, 0);
+
+    // Forward fixpoint for ASAP. With ii >= recMii every cycle has
+    // non-positive total weight, so at most n rounds settle it.
+    for (int round = 0; round < n + 1; ++round) {
+        bool changed = false;
+        for (const auto &e : loop.edges()) {
+            int cand = info.asap[e.src] + lat.edgeLatency(e)
+                       - ii * e.distance;
+            if (cand > info.asap[e.dst]) {
+                info.asap[e.dst] = cand;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        if (round == n) {
+            warn("ASAP relaxation did not converge (II below recMII?) "
+                 "in loop %s", loop.name().c_str());
+        }
+    }
+
+    int horizon = 0;
+    for (int i = 0; i < n; ++i)
+        horizon = std::max(horizon, info.asap[i]);
+
+    // Backward fixpoint for ALAP from the horizon.
+    info.alap.assign(n, horizon);
+    for (int round = 0; round < n + 1; ++round) {
+        bool changed = false;
+        for (const auto &e : loop.edges()) {
+            int cand = info.alap[e.dst] - lat.edgeLatency(e)
+                       + ii * e.distance;
+            if (cand < info.alap[e.src]) {
+                info.alap[e.src] = cand;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    info.slack.resize(n);
+    for (int i = 0; i < n; ++i)
+        info.slack[i] = info.alap[i] - info.asap[i];
+    return info;
+}
+
+std::vector<OpId>
+smsOrder(const ir::Loop &loop, const SlackInfo &slack)
+{
+    const int n = loop.numOps();
+    std::vector<bool> ordered(n, false);
+    std::vector<OpId> order;
+    order.reserve(n);
+
+    // Adjacency over all edges, both directions.
+    std::vector<std::vector<OpId>> adj(n);
+    for (const auto &e : loop.edges()) {
+        adj[e.src].push_back(e.dst);
+        adj[e.dst].push_back(e.src);
+    }
+
+    auto better = [&](OpId a, OpId b) {
+        if (slack.slack[a] != slack.slack[b])
+            return slack.slack[a] < slack.slack[b];
+        if (slack.alap[a] != slack.alap[b])
+            return slack.alap[a] < slack.alap[b];
+        return a < b;
+    };
+
+    while (static_cast<int>(order.size()) < n) {
+        // Frontier: unordered nodes adjacent to the ordered set.
+        OpId pick = kNoOp;
+        for (OpId u = 0; u < n; ++u) {
+            if (ordered[u])
+                continue;
+            bool frontier = false;
+            for (OpId v : adj[u])
+                frontier |= ordered[v];
+            if (!frontier)
+                continue;
+            if (pick == kNoOp || better(u, pick))
+                pick = u;
+        }
+        if (pick == kNoOp) {
+            // Seed a new (possibly disconnected) component.
+            for (OpId u = 0; u < n; ++u) {
+                if (ordered[u])
+                    continue;
+                if (pick == kNoOp || better(u, pick))
+                    pick = u;
+            }
+        }
+        L0_ASSERT(pick != kNoOp, "ordering stuck");
+        ordered[pick] = true;
+        order.push_back(pick);
+    }
+    return order;
+}
+
+} // namespace l0vliw::sched

@@ -1,0 +1,214 @@
+#include "sched/validate.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "ir/memdep.hh"
+#include "sched/mrt.hh"
+
+namespace l0vliw::sched
+{
+
+namespace
+{
+
+std::string
+fmt(const char *f, ...)
+{
+    char buf[256];
+    std::va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+std::vector<std::string>
+validateSchedule(const Schedule &s, const machine::MachineConfig &cfg)
+{
+    std::vector<std::string> bad;
+    const ir::Loop &loop = s.loop;
+    const int n = loop.numOps();
+    const int ii = s.ii;
+
+    if (ii < 1) {
+        bad.push_back("II < 1");
+        return bad;
+    }
+    if (static_cast<int>(s.ops.size()) != n) {
+        bad.push_back("schedule size != op count");
+        return bad;
+    }
+
+    // 1. placement sanity
+    for (OpId i = 0; i < n; ++i) {
+        const OpSchedule &os = s.ops[i];
+        if (os.cluster < 0 || os.cluster >= cfg.numClusters)
+            bad.push_back(fmt("op %d: bad cluster %d", i, os.cluster));
+        if (os.startCycle < 0)
+            bad.push_back(fmt("op %d: negative start %d", i,
+                              os.startCycle));
+    }
+    if (!bad.empty())
+        return bad;
+
+    // 2. dependences modulo II (+ bus latency when crossing clusters)
+    for (const auto &e : loop.edges()) {
+        const OpSchedule &src = s.ops[e.src];
+        const OpSchedule &dst = s.ops[e.dst];
+        int lat = e.kind == ir::DepKind::Mem ? 1 : src.assignedLatency;
+        int comm = e.kind == ir::DepKind::Reg
+                           && src.cluster != dst.cluster
+                       ? cfg.busLatency
+                       : 0;
+        if (dst.startCycle + ii * e.distance
+                < src.startCycle + lat + comm) {
+            bad.push_back(fmt("edge %d->%d (dist %d) violated: "
+                              "src@%d lat %d comm %d dst@%d ii %d",
+                              e.src, e.dst, e.distance, src.startCycle,
+                              lat, comm, dst.startCycle, ii));
+        }
+    }
+
+    // 3. FU capacity per kernel row
+    std::map<std::tuple<int, int, int>, int> fu_use; // (cluster,fu,row)
+    for (OpId i = 0; i < n; ++i) {
+        int fu = static_cast<int>(fuClassOf(loop.op(i).kind));
+        auto key = std::make_tuple(s.ops[i].cluster, fu,
+                                   s.ops[i].startCycle % ii);
+        ++fu_use[key];
+    }
+    for (const auto &kv : fu_use) {
+        int fu = std::get<1>(kv.first);
+        int limit = fu == static_cast<int>(FuClass::Int)
+                        ? cfg.intUnitsPerCluster
+                        : fu == static_cast<int>(FuClass::Mem)
+                              ? cfg.memUnitsPerCluster
+                              : cfg.fpUnitsPerCluster;
+        if (kv.second > limit) {
+            bad.push_back(fmt("cluster %d fu %d row %d oversubscribed "
+                              "(%d > %d)",
+                              std::get<0>(kv.first), fu,
+                              std::get<2>(kv.first), kv.second, limit));
+        }
+    }
+
+    // 4. bus channel capacity
+    std::map<int, int> bus_use;
+    for (const auto &tr : s.transfers)
+        ++bus_use[((tr.startCycle % ii) + ii) % ii];
+    for (const auto &kv : bus_use) {
+        if (kv.second > cfg.numBuses)
+            bad.push_back(fmt("bus row %d oversubscribed (%d > %d)",
+                              kv.first, kv.second, cfg.numBuses));
+    }
+
+    // 5. L0 capacity per cluster (distinct streams)
+    if (cfg.memArch == machine::MemArch::L0Buffers && !cfg.l0Unbounded()) {
+        std::map<int, std::set<std::tuple<int, long, int, long>>> streams;
+        for (OpId i = 0; i < n; ++i) {
+            const ir::Operation &op = loop.op(i);
+            if (op.kind != ir::OpKind::Load || !s.ops[i].usesL0)
+                continue;
+            streams[s.ops[i].cluster].insert(
+                {op.mem.array, op.mem.strideElems, op.mem.elemSize,
+                 op.mem.offsetElems});
+        }
+        for (const auto &kv : streams) {
+            if (static_cast<int>(kv.second.size()) > cfg.l0Entries)
+                bad.push_back(fmt("cluster %d: %zu L0 streams exceed %d "
+                                  "entries",
+                                  kv.first, kv.second.size(),
+                                  cfg.l0Entries));
+        }
+    }
+
+    // 6. SEQ_ACCESS legality
+    std::set<std::pair<int, int>> mem_rows; // (cluster, row)
+    for (OpId i = 0; i < n; ++i)
+        if (ir::isMemKind(loop.op(i).kind))
+            mem_rows.insert({s.ops[i].cluster, s.ops[i].startCycle % ii});
+    for (OpId i = 0; i < n; ++i) {
+        if (loop.op(i).kind != ir::OpKind::Load
+                || s.ops[i].access != ir::AccessHint::SeqAccess)
+            continue;
+        int next = (s.ops[i].startCycle + 1) % ii;
+        if (mem_rows.count({s.ops[i].cluster, next}))
+            bad.push_back(fmt("op %d: SEQ_ACCESS with a memory op in "
+                              "the next row", i));
+    }
+
+    // 7. coherence constraints per load+store set
+    for (const auto &set : ir::memoryDependentSets(loop)) {
+        if (set.size() < 2 || !ir::setHasLoadAndStore(loop, set))
+            continue;
+        bool psr = false;
+        for (OpId id : set)
+            psr |= !loop.op(id).mem.primaryStore;
+        if (psr) {
+            // PSR: replicated store groups must cover distinct clusters.
+            std::map<std::string, std::set<int>> group_clusters;
+            for (OpId id : set) {
+                if (loop.op(id).kind != ir::OpKind::Store)
+                    continue;
+                std::string base = loop.op(id).tag;
+                auto pos = base.find("_psr");
+                if (pos != std::string::npos)
+                    base = base.substr(0, pos);
+                group_clusters[base].insert(s.ops[id].cluster);
+            }
+            for (const auto &kv : group_clusters) {
+                if (static_cast<int>(kv.second.size())
+                        != cfg.numClusters) {
+                    bad.push_back(fmt("PSR group '%s' does not cover all "
+                                      "clusters", kv.first.c_str()));
+                }
+            }
+            continue;
+        }
+        std::set<int> constrained; // clusters of L0 loads and stores
+        bool any_l0_load = false;
+        for (OpId id : set) {
+            const ir::Operation &op = loop.op(id);
+            if (op.kind == ir::OpKind::Load && s.ops[id].usesL0) {
+                any_l0_load = true;
+                constrained.insert(s.ops[id].cluster);
+            }
+            if (op.kind == ir::OpKind::Store
+                    && s.ops[id].access == ir::AccessHint::ParAccess)
+                constrained.insert(s.ops[id].cluster);
+        }
+        if (!any_l0_load)
+            continue; // NL0: nothing to check (L1 always up to date)
+        for (OpId id : set) {
+            if (loop.op(id).kind == ir::OpKind::Store)
+                constrained.insert(s.ops[id].cluster);
+        }
+        if (constrained.size() > 1)
+            bad.push_back(fmt("1C violation: set with L0 loads spans %zu "
+                              "clusters", constrained.size()));
+    }
+
+    // 8. hint sanity
+    for (OpId i = 0; i < n; ++i) {
+        const ir::Operation &op = loop.op(i);
+        if (op.kind == ir::OpKind::Store
+                && s.ops[i].access == ir::AccessHint::SeqAccess)
+            bad.push_back(fmt("op %d: store marked SEQ_ACCESS", i));
+        if (op.kind == ir::OpKind::Load && s.ops[i].usesL0
+                && s.ops[i].access == ir::AccessHint::NoAccess)
+            bad.push_back(fmt("op %d: L0 load marked NO_ACCESS", i));
+        if (op.kind == ir::OpKind::Load && !s.ops[i].usesL0
+                && s.ops[i].access != ir::AccessHint::NoAccess)
+            bad.push_back(fmt("op %d: non-L0 load accesses L0", i));
+    }
+
+    return bad;
+}
+
+} // namespace l0vliw::sched

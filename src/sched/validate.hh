@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Post-hoc schedule validation.
+ *
+ * Every invariant the scheduler promises is re-checked from scratch on
+ * the finished schedule; the property tests run this on thousands of
+ * random loops. Violations return a human-readable description rather
+ * than aborting so tests can report them.
+ */
+
+#ifndef L0VLIW_SCHED_VALIDATE_HH
+#define L0VLIW_SCHED_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hh"
+#include "sched/schedule.hh"
+
+namespace l0vliw::sched
+{
+
+/**
+ * Check @p s against @p cfg:
+ *
+ *  1. every op is placed, with a valid cluster and nonnegative start;
+ *  2. dependences hold modulo II, including the bus latency for
+ *     cross-cluster register edges;
+ *  3. per-row functional-unit capacity is respected in every cluster;
+ *  4. per-row bus channel capacity covers the recorded transfers;
+ *  5. L0 capacity: distinct L0-using load streams per cluster fit in
+ *     the buffer (unless unbounded);
+ *  6. SEQ_ACCESS legality: no other memory op in the cluster in the
+ *     next kernel row;
+ *  7. coherence: within every memory-dependent load+store set, either
+ *     no load uses L0, or all L0-using loads and all stores share one
+ *     cluster (1C), or stores are fully replicated across clusters
+ *     with exactly one primary (PSR);
+ *  8. stores never carry SEQ_ACCESS; NO_ACCESS loads never use L0.
+ *
+ * @return list of violation descriptions (empty = valid).
+ */
+std::vector<std::string> validateSchedule(const Schedule &s,
+                                          const machine::MachineConfig &cfg);
+
+} // namespace l0vliw::sched
+
+#endif // L0VLIW_SCHED_VALIDATE_HH

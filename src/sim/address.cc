@@ -1,0 +1,68 @@
+#include "sim/address.hh"
+
+#include "common/logging.hh"
+
+namespace l0vliw::sim
+{
+
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Addr
+addressOf(const ir::Loop &loop, OpId id, std::uint64_t iter)
+{
+    const ir::Operation &op = loop.op(id);
+    L0_ASSERT(ir::isMemKind(op.kind), "addressOf on non-memory op %d", id);
+    const ir::ArrayInfo &arr = loop.array(op.mem.array);
+    if (op.mem.strided) {
+        long elem = op.mem.offsetElems
+                    + op.mem.strideElems * static_cast<long>(iter);
+        // Streams wrap inside the array so long-trip loops keep a
+        // bounded working set (the workload models pick array sizes so
+        // wrapping matches the intended locality).
+        std::uint64_t elems = arr.sizeBytes / op.mem.elemSize;
+        L0_ASSERT(elems > 0, "array %s too small",
+                  arr.name.c_str());
+        long wrapped = elem % static_cast<long>(elems);
+        if (wrapped < 0)
+            wrapped += static_cast<long>(elems);
+        return arr.base + static_cast<Addr>(wrapped) * op.mem.elemSize;
+    }
+    // Irregular: deterministic pseudo-random element.
+    std::uint64_t elems = arr.sizeBytes / op.mem.elemSize;
+    std::uint64_t elem = mix(static_cast<std::uint64_t>(id) + 1, iter)
+                         % elems;
+    return arr.base + elem * op.mem.elemSize;
+}
+
+std::uint64_t
+storeValue(OpId id, std::uint64_t iter)
+{
+    return mix(0xabcdULL + static_cast<std::uint64_t>(id), iter);
+}
+
+std::uint64_t
+bytesToValue(const std::uint8_t *bytes, int size)
+{
+    std::uint64_t v = 0;
+    for (int i = size - 1; i >= 0; --i)
+        v = (v << 8) | bytes[i];
+    return v;
+}
+
+void
+valueToBytes(std::uint64_t value, std::uint8_t *bytes, int size)
+{
+    for (int i = 0; i < size; ++i) {
+        bytes[i] = static_cast<std::uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+}
+
+} // namespace l0vliw::sim

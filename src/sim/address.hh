@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic address and value streams for dynamic memory accesses.
+ *
+ * Strided operations follow the affine stream in their MemInfo;
+ * irregular operations walk a deterministic pseudo-random sequence
+ * within their array. Store values are a hash of (op, iteration). The
+ * same functions drive both the timing simulation and the golden
+ * replay, so the coherence oracle compares like with like.
+ */
+
+#ifndef L0VLIW_SIM_ADDRESS_HH
+#define L0VLIW_SIM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "ir/loop.hh"
+
+namespace l0vliw::sim
+{
+
+/** Mixing hash used for irregular strides and store values. */
+std::uint64_t mix(std::uint64_t a, std::uint64_t b);
+
+/** Effective address of memory op @p id at iteration @p iter. */
+Addr addressOf(const ir::Loop &loop, OpId id, std::uint64_t iter);
+
+/** Value stored by store op @p id at iteration @p iter (acc.size
+ *  low-order bytes are written). */
+std::uint64_t storeValue(OpId id, std::uint64_t iter);
+
+/** Read @p size little-endian bytes into a value. */
+std::uint64_t bytesToValue(const std::uint8_t *bytes, int size);
+
+/** Write @p size little-endian bytes of @p value. */
+void valueToBytes(std::uint64_t value, std::uint8_t *bytes, int size);
+
+} // namespace l0vliw::sim
+
+#endif // L0VLIW_SIM_ADDRESS_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Parametrised loop-kernel patterns used to model the Mediabench
+ * benchmarks (see workloads/mediabench.cc for the mapping).
+ *
+ * Each builder returns a validated ir::Loop whose arrays were
+ * allocated from an AddressSpace with page-aligned bases and guard
+ * gaps, so distinct arrays (and therefore distinct memory-dependent
+ * sets) can never share an L1 block — the "padding and smart data
+ * layout" assumption of Section 3.3.
+ */
+
+#ifndef L0VLIW_WORKLOADS_KERNELS_HH
+#define L0VLIW_WORKLOADS_KERNELS_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "ir/loop.hh"
+
+namespace l0vliw::workloads
+{
+
+/** Bump allocator with guard gaps and cache-set staggering. */
+class AddressSpace
+{
+  public:
+    /**
+     * Allocate @p bytes. The base is block (32 B) aligned and a 4 KiB
+     * guard gap follows, so prefetches past an array end can never hit
+     * another array. Consecutive allocations are staggered across L1
+     * sets (17 sets apart) — real linkers/mallocs do not align every
+     * object to the L1 way size, and page-aligning everything would
+     * make all arrays conflict in the same sets of an 8 KiB 2-way L1.
+     */
+    Addr
+    alloc(std::uint64_t bytes)
+    {
+        Addr base = cursor + skew;
+        std::uint64_t rounded = (bytes + 4095) / 4096 * 4096;
+        cursor += rounded + 8192;
+        skew = (skew + 17 * 32) % 4096;
+        return base;
+    }
+
+  private:
+    Addr cursor = 0x100000;
+    Addr skew = 0;
+};
+
+/** Common knobs of the stream-shaped kernels. */
+struct StreamParams
+{
+    int elemSize = 4;       ///< access granularity (1, 2, 4 bytes)
+    int loadStreams = 2;    ///< distinct unit-stride input streams
+    int storeStreams = 1;   ///< distinct unit-stride output streams
+    int intOps = 3;         ///< integer ops chained per element
+    int fpOps = 0;          ///< floating-point ops chained per element
+    std::uint64_t arrayBytes = 4096; ///< size of each array
+    int stride = 1;         ///< elements advanced per iteration
+};
+
+/**
+ * Map/filter over parallel streams: y_j[i] = f(x_0[i..], ...).
+ * Resource-bound (no loop-carried recurrence): profits from unrolling
+ * whenever its op counts don't divide evenly by the cluster count.
+ */
+ir::Loop streamMap(AddressSpace &as, const std::string &name,
+                   const StreamParams &p);
+
+/** Parameters of the recurrence kernels. */
+struct RecurrenceParams
+{
+    int elemSize = 4;
+    int lookback = 1;       ///< y[i] depends on y[i - lookback]
+    int chainOps = 2;       ///< ALU ops on the recurrence path
+    bool fpChain = false;   ///< chain in FP (longer latency)
+    int extraLoads = 1;     ///< additional streamed inputs
+    std::uint64_t arrayBytes = 4096;
+};
+
+/**
+ * Memory recurrence: y[i] = g(y[i - lookback], x[i], ...). The
+ * load(y)->chain->store(y) cycle makes the loop RecMII-bound, so the
+ * load's L0-vs-L1 latency directly scales the II — the paper's main
+ * compute-time win. The load+store pair forms a genuine memory-
+ * dependent set, exercising the 1C/NL0 coherence machinery (and the
+ * oracle: the load re-reads bytes the store wrote).
+ */
+ir::Loop memRecurrence(AddressSpace &as, const std::string &name,
+                       const RecurrenceParams &p);
+
+/**
+ * Short block transform (DCT-like): @p block loads, a log-depth
+ * combine tree, @p block stores. Meant to run with a small trip count
+ * and many invocations so prologue/epilogue (stage count) matters.
+ */
+ir::Loop blockTransform(AddressSpace &as, const std::string &name,
+                        int block, int elemSize,
+                        std::uint64_t arrayBytes);
+
+/** Parameters of the column-walk kernel. */
+struct ColumnParams
+{
+    int elemSize = 4;
+    int strideElems = 16;   ///< row length: an "other" (SO) stride
+    int streams = 1;
+    int intOps = 2;
+    std::uint64_t arrayBytes = 4096;
+};
+
+/**
+ * Column-major walk over a row-major matrix: strided but with a stride
+ * larger than an L0 subblock, so the prefetch hints do not help and
+ * step 5 must insert explicit software prefetches.
+ */
+ir::Loop columnWalk(AddressSpace &as, const std::string &name,
+                    const ColumnParams &p);
+
+/**
+ * Irregular table lookups mixed with a strided output: the lookups are
+ * non-strided (never L0 candidates) and drag the benchmark's S column
+ * down, as in jpegenc/pegwit*.
+ */
+ir::Loop tableLookup(AddressSpace &as, const std::string &name,
+                     int irregularLoads, int stridedLoads, int intOps,
+                     std::uint64_t tableBytes, int elemSize = 4);
+
+/**
+ * In-place update stream with conservative may-alias dependences
+ * between all its loads and the store (the pessimistic disambiguation
+ * the paper reports for epicdec/pgpdec/pgpenc/rasta). Code
+ * specialization strips the conservative edges, leaving only each
+ * stream's genuine set.
+ */
+ir::Loop conservativeUpdate(AddressSpace &as, const std::string &name,
+                            int loadStreams, int intOps, int elemSize,
+                            std::uint64_t arrayBytes);
+
+} // namespace l0vliw::workloads
+
+#endif // L0VLIW_WORKLOADS_KERNELS_HH

@@ -1,0 +1,476 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace l0vliw::workloads
+{
+
+namespace
+{
+
+/**
+ * Each model is built from the kernel patterns; the parameters are
+ * calibrated so the measured dynamic stride mix approximates Table 1,
+ * the unroll decisions approximate Figure 6, and the per-benchmark
+ * behaviours called out in Section 5.2 appear (see workload.hh).
+ *
+ * Calibration levers (what produces the paper's effects here):
+ *  - memRecurrence loops are RecMII-bound: the L0-vs-L1 load latency
+ *    scales the II directly (the main compute-time win). With trips
+ *    >= 128 they unroll by 4 on the steady-state tie, matching the
+ *    high unroll factors of Figure 6 without losing the gain.
+ *  - streamMap loops whose op counts don't divide by 4 gain
+ *    fractional-II from unrolling; their L0 benefit is the prologue
+ *    (stage count) plus prefetch-hidden L1 misses on streaming data.
+ *  - loops with trips < 128 stay at unroll 1 (prologue-dominated),
+ *    setting the low averages of the pegwit and pgp pairs.
+ *  - small-II loops (epicdec, rasta) trigger the hint prefetch one
+ *    subblock ahead of a gap shorter than the L1 round trip: the fill
+ *    is in flight when the next access arrives (stall).
+ *  - arrays > 8 KiB defeat the L1 (pegwit's low L1 hit rate,
+ *    jpegdec/mpeg2dec streaming misses); smaller arrays are
+ *    L1-resident after the first invocation.
+ */
+
+Benchmark
+makeEpicdec()
+{
+    // Image-pyramid decoder: small-II filter loops whose prefetches
+    // arrive late (large stall share), plus column walks (SO = 33%).
+    Benchmark b;
+    b.name = "epicdec";
+    b.paper = {0.99, 0.66, 0.33, 1.9};
+    AddressSpace as;
+
+    StreamParams fil;
+    fil.elemSize = 2;
+    fil.loadStreams = 2;
+    fil.storeStreams = 1;
+    fil.intOps = 2;
+    fil.arrayBytes = 65536;
+    b.loops.push_back({streamMap(as, "epic_filter", fil), 1024, 10});
+
+    ColumnParams col;
+    col.elemSize = 4;
+    col.strideElems = 32;
+    col.streams = 2;
+    col.intOps = 4;
+    col.arrayBytes = 16384;
+    b.loops.push_back({columnWalk(as, "epic_cols", col), 512, 24});
+
+    RecurrenceParams rec;
+    rec.elemSize = 2;
+    rec.lookback = 1;
+    rec.chainOps = 2;
+    rec.extraLoads = 1;
+    b.loops.push_back({memRecurrence(as, "epic_expand", rec), 96, 30});
+
+    StreamParams up;
+    up.elemSize = 2;
+    up.loadStreams = 3;
+    up.storeStreams = 2;
+    up.intOps = 5;
+    b.loops.push_back({streamMap(as, "epic_upsample", up), 96, 40});
+    return b;
+}
+
+Benchmark
+makeG721(const std::string &name)
+{
+    // ADPCM: the adaptive predictor and quantizer feedback loops are
+    // genuine memory recurrences, so the load latency scales the II;
+    // every loop unrolls by 4 (Figure 6 reports exactly 4.0).
+    Benchmark b;
+    b.name = name;
+    b.paper = {1.00, 1.00, 0.00, 4.0};
+    AddressSpace as;
+
+    RecurrenceParams pred;
+    pred.elemSize = 2;
+    pred.lookback = 1;
+    pred.chainOps = 4;
+    pred.extraLoads = 1;
+    b.loops.push_back({memRecurrence(as, name + "_pred", pred), 384, 10});
+
+    RecurrenceParams adap;
+    adap.elemSize = 2;
+    adap.lookback = 1;
+    adap.chainOps = 5;
+    adap.extraLoads = 2;
+    b.loops.push_back({memRecurrence(as, name + "_adapt", adap), 320, 10});
+
+    StreamParams quan;
+    quan.elemSize = 2;
+    quan.loadStreams = 1;
+    quan.storeStreams = 1;
+    quan.intOps = 7;
+    b.loops.push_back({streamMap(as, name + "_quant", quan), 640, 12});
+
+    StreamParams rec;
+    rec.elemSize = 2;
+    rec.loadStreams = 2;
+    rec.storeStreams = 2;
+    rec.intOps = 7;
+    b.loops.push_back({streamMap(as, name + "_recon", rec), 512, 12});
+    return b;
+}
+
+Benchmark
+makeGsm(const std::string &name, bool encoder)
+{
+    // GSM 06.10: LPC/LTP short-term filters are memory recurrences on
+    // small frames (unroll 1); windowing/scale loops unroll by 4.
+    Benchmark b;
+    b.name = name;
+    b.paper = encoder ? PaperReference{0.99, 0.99, 0.00, 2.2}
+                      : PaperReference{0.97, 0.97, 0.00, 2.3};
+    AddressSpace as;
+
+    StreamParams win;
+    win.elemSize = 2;
+    win.loadStreams = 1;
+    win.storeStreams = 1;
+    win.intOps = 5;
+    b.loops.push_back({streamMap(as, name + "_window", win), 160, 50});
+
+    RecurrenceParams lpc;
+    lpc.elemSize = 2;
+    lpc.lookback = 1;
+    lpc.chainOps = encoder ? 5 : 4;
+    lpc.extraLoads = 1;
+    b.loops.push_back({memRecurrence(as, name + "_lpc", lpc), 120, 50});
+
+    StreamParams add;
+    add.elemSize = 2;
+    add.loadStreams = 3;
+    add.storeStreams = 1;
+    add.intOps = 6;
+    b.loops.push_back({streamMap(as, name + "_scale", add), 160, 40});
+
+    RecurrenceParams ltp;
+    ltp.elemSize = 2;
+    ltp.lookback = 2;
+    ltp.chainOps = 6;
+    ltp.extraLoads = encoder ? 2 : 1;
+    b.loops.push_back({memRecurrence(as, name + "_ltp", ltp), 96, 40});
+
+    if (!encoder) {
+        // A small irregular tail drags S to 97%.
+        b.loops.push_back(
+            {tableLookup(as, name + "_tab", 1, 3, 3, 4096, 2), 64, 20});
+    }
+    return b;
+}
+
+Benchmark
+makeJpegdec()
+{
+    // The paper's problem child. The upsample loop holds four L0
+    // streams per cluster: with 4-entry buffers the prefetched
+    // subblocks evict still-live ones (LRU thrash); with 8 entries it
+    // fits. The color loop saturates every memory slot, forcing
+    // PAR_ACCESS everywhere and starving the prefetch traffic on the
+    // buses — the loop where the conservative no-L0 schedule is ~30%
+    // better. Huffman lookups and IDCT column walks set S/SG/SO to
+    // ~60/39/21.
+    Benchmark b;
+    b.name = "jpegdec";
+    b.paper = {0.60, 0.39, 0.21, 3.2};
+    AddressSpace as;
+
+    StreamParams upsample;
+    upsample.elemSize = 1;
+    upsample.loadStreams = 4;
+    upsample.storeStreams = 1;
+    upsample.intOps = 6;
+    upsample.arrayBytes = 1024;
+    b.loops.push_back({streamMap(as, "jpg_upsample", upsample), 512, 10});
+
+    StreamParams color;
+    color.elemSize = 2;
+    color.loadStreams = 8;
+    color.storeStreams = 2;
+    color.intOps = 3;
+    color.arrayBytes = 512;
+    b.loops.push_back({streamMap(as, "jpg_color", color), 512, 8});
+
+    b.loops.push_back(
+        {tableLookup(as, "jpg_huff", 4, 1, 3, 1024, 2), 384, 60});
+
+    ColumnParams idct;
+    idct.elemSize = 2;
+    idct.strideElems = 8;
+    idct.streams = 2;
+    idct.intOps = 3;
+    idct.arrayBytes = 2048;
+    b.loops.push_back({columnWalk(as, "jpg_idct_col", idct), 512, 24});
+    return b;
+}
+
+Benchmark
+makeJpegenc()
+{
+    Benchmark b;
+    b.name = "jpegenc";
+    b.paper = {0.49, 0.40, 0.09, 2.6};
+    AddressSpace as;
+
+    StreamParams color;
+    color.elemSize = 1;
+    color.loadStreams = 3;
+    color.storeStreams = 1;
+    color.intOps = 5;
+    color.arrayBytes = 65536;
+    b.loops.push_back({streamMap(as, "jpe_color", color), 512, 10});
+
+    b.loops.push_back(
+        {tableLookup(as, "jpe_quant", 4, 1, 4, 1024, 2), 120, 90});
+
+    RecurrenceParams dc;
+    dc.elemSize = 2;
+    dc.lookback = 1;
+    dc.chainOps = 4;
+    dc.extraLoads = 1;
+    b.loops.push_back({memRecurrence(as, "jpe_dcpred", dc), 256, 16});
+
+    b.loops.push_back({blockTransform(as, "jpe_dct", 8, 2, 8192), 8, 100});
+
+    b.loops.push_back(
+        {tableLookup(as, "jpe_huff", 3, 1, 3, 4096, 2), 100, 80});
+    return b;
+}
+
+Benchmark
+makeMpeg2dec()
+{
+    // Motion compensation walks macroblock rows (stride > subblock:
+    // SO = 54%) in loops of II ~5-6, so late prefetches hurt less than
+    // in epicdec (Section 5.2).
+    Benchmark b;
+    b.name = "mpeg2dec";
+    b.paper = {0.96, 0.42, 0.54, 2.2};
+    AddressSpace as;
+
+    ColumnParams mc;
+    mc.elemSize = 1;
+    mc.strideElems = 64;
+    mc.streams = 3;
+    mc.intOps = 8;
+    mc.arrayBytes = 2048;
+    b.loops.push_back({columnWalk(as, "mpg_mc", mc), 640, 16});
+
+    ColumnParams mc2;
+    mc2.elemSize = 2;
+    mc2.strideElems = 16;
+    mc2.streams = 2;
+    mc2.intOps = 7;
+    mc2.arrayBytes = 4096;
+    b.loops.push_back({columnWalk(as, "mpg_idct", mc2), 384, 10});
+
+    StreamParams add;
+    add.elemSize = 1;
+    add.loadStreams = 3;
+    add.storeStreams = 1;
+    add.intOps = 6;
+    add.arrayBytes = 4096;
+    b.loops.push_back({streamMap(as, "mpg_add", add), 384, 8});
+
+    RecurrenceParams pred;
+    pred.elemSize = 2;
+    pred.lookback = 1;
+    pred.chainOps = 2;
+    b.loops.push_back({memRecurrence(as, "mpg_pred", pred), 96, 20});
+
+    b.loops.push_back(
+        {tableLookup(as, "mpg_vlc", 1, 2, 3, 4096, 2), 64, 20});
+    return b;
+}
+
+Benchmark
+makePegwit(const std::string &name)
+{
+    // Elliptic-curve crypto: large tables (32 KiB), so both L1 and L0
+    // hit rates are low and stall remains even with unbounded buffers
+    // (Section 5.2). Short block loops keep most of the benchmark at
+    // unroll 1 (Figure 6 reports 1.5).
+    Benchmark b;
+    b.name = name;
+    b.paper = name == "pegwitdec"
+                  ? PaperReference{0.50, 0.48, 0.02, 1.5}
+                  : PaperReference{0.56, 0.54, 0.02, 1.5};
+    AddressSpace as;
+
+    b.loops.push_back(
+        {tableLookup(as, name + "_gf", 3, 2, 4, 32768, 4), 96, 110});
+
+    RecurrenceParams hash;
+    hash.elemSize = 4;
+    hash.lookback = 1;
+    hash.chainOps = 4;
+    hash.fpChain = false;
+    hash.extraLoads = 1;
+    hash.arrayBytes = 32768;
+    b.loops.push_back({memRecurrence(as, name + "_hash", hash), 100, 40});
+
+    StreamParams xr;
+    xr.elemSize = 4;
+    xr.loadStreams = 2;
+    xr.storeStreams = 1;
+    xr.intOps = 5;
+    xr.arrayBytes = 32768;
+    b.loops.push_back({streamMap(as, name + "_xor", xr), 256, 8});
+
+    if (name == "pegwitenc") {
+        ColumnParams sq;
+        sq.elemSize = 4;
+        sq.strideElems = 8;
+        sq.streams = 1;
+        sq.intOps = 4;
+        sq.arrayBytes = 16384;
+        b.loops.push_back({columnWalk(as, name + "_sq", sq), 100, 8});
+    }
+    return b;
+}
+
+Benchmark
+makePgp(const std::string &name)
+{
+    // Multiprecision arithmetic: in-place digit updates with
+    // conservative may-alias dependences that code specialization
+    // removes (Section 4.1); carry chains are genuine recurrences on
+    // short digit vectors (unroll 1).
+    Benchmark b;
+    b.name = name;
+    bool enc = name == "pgpenc";
+    b.paper = enc ? PaperReference{0.86, 0.86, 0.00, 1.4}
+                  : PaperReference{0.99, 0.98, 0.01, 1.5};
+    AddressSpace as;
+
+    LoopInstance mul;
+    mul.loop = conservativeUpdate(as, name + "_mul", 3, 5, 4, 8192);
+    mul.trips = 96;
+    mul.invocations = 60;
+    mul.specialize = true;
+    b.loops.push_back(std::move(mul));
+
+    RecurrenceParams carry;
+    carry.elemSize = 4;
+    carry.lookback = 1;
+    carry.chainOps = 3;
+    b.loops.push_back({memRecurrence(as, name + "_carry", carry), 100, 50});
+
+    StreamParams cp;
+    cp.elemSize = 4;
+    cp.loadStreams = 2;
+    cp.storeStreams = 1;
+    cp.intOps = 5;
+    cp.arrayBytes = 32768;
+    b.loops.push_back({streamMap(as, name + "_copy", cp), 256, 14});
+
+    if (enc) {
+        b.loops.push_back(
+            {tableLookup(as, name + "_sbox", 2, 1, 3, 8192, 1), 100, 40});
+    }
+    return b;
+}
+
+Benchmark
+makeRasta()
+{
+    // Speech feature extraction: small-II filter loops (late
+    // prefetches), an FP filterbank recurrence, and conservative sets
+    // removed by specialization.
+    Benchmark b;
+    b.name = "rasta";
+    b.paper = {0.95, 0.87, 0.08, 2.6};
+    AddressSpace as;
+
+    StreamParams fil;
+    fil.elemSize = 4;
+    fil.loadStreams = 2;
+    fil.storeStreams = 1;
+    fil.intOps = 2;
+    fil.fpOps = 1;
+    fil.arrayBytes = 65536;
+    b.loops.push_back({streamMap(as, "rst_filter", fil), 768, 10});
+
+    RecurrenceParams bank;
+    bank.elemSize = 4;
+    bank.lookback = 1;
+    bank.chainOps = 2;
+    bank.fpChain = true;
+    b.loops.push_back({memRecurrence(as, "rst_bank", bank), 384, 10});
+
+    LoopInstance spec;
+    spec.loop = conservativeUpdate(as, "rst_spec", 2, 4, 4, 8192);
+    spec.trips = 96;
+    spec.invocations = 30;
+    spec.specialize = true;
+    b.loops.push_back(std::move(spec));
+
+    ColumnParams col;
+    col.elemSize = 4;
+    col.strideElems = 16;
+    col.streams = 1;
+    col.intOps = 3;
+    b.loops.push_back({columnWalk(as, "rst_bands", col), 120, 30});
+
+    StreamParams win;
+    win.elemSize = 4;
+    win.loadStreams = 1;
+    win.storeStreams = 1;
+    win.intOps = 5;
+    b.loops.push_back({streamMap(as, "rst_window", win), 160, 40});
+    return b;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "epicdec", "g721dec", "g721enc", "gsmdec", "gsmenc",
+        "jpegdec", "jpegenc", "mpeg2dec", "pegwitdec", "pegwitenc",
+        "pgpdec", "pgpenc", "rasta",
+    };
+    return names;
+}
+
+Benchmark
+makeBenchmark(const std::string &name)
+{
+    if (name == "epicdec")
+        return makeEpicdec();
+    if (name == "g721dec" || name == "g721enc")
+        return makeG721(name);
+    if (name == "gsmdec")
+        return makeGsm(name, false);
+    if (name == "gsmenc")
+        return makeGsm(name, true);
+    if (name == "jpegdec")
+        return makeJpegdec();
+    if (name == "jpegenc")
+        return makeJpegenc();
+    if (name == "mpeg2dec")
+        return makeMpeg2dec();
+    if (name == "pegwitdec" || name == "pegwitenc")
+        return makePegwit(name);
+    if (name == "pgpdec" || name == "pgpenc")
+        return makePgp(name);
+    if (name == "rasta")
+        return makeRasta();
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<Benchmark>
+mediabenchSuite()
+{
+    std::vector<Benchmark> suite;
+    for (const auto &n : benchmarkNames())
+        suite.push_back(makeBenchmark(n));
+    return suite;
+}
+
+} // namespace l0vliw::workloads

@@ -1,0 +1,36 @@
+#include "workloads/stride_mix.hh"
+
+#include <cstdlib>
+
+namespace l0vliw::workloads
+{
+
+StrideMix
+measureStrideMix(const Benchmark &bench)
+{
+    std::uint64_t total = 0, strided = 0, good = 0, other = 0;
+    for (const auto &li : bench.loops) {
+        std::uint64_t weight = li.trips * li.invocations;
+        for (const auto &op : li.loop.ops()) {
+            if (!ir::isMemKind(op.kind))
+                continue;
+            total += weight;
+            if (!op.mem.strided)
+                continue;
+            strided += weight;
+            if (std::abs(op.mem.strideElems) <= 1)
+                good += weight;
+            else
+                other += weight;
+        }
+    }
+    StrideMix mix;
+    if (total == 0)
+        return mix;
+    mix.s = static_cast<double>(strided) / total;
+    mix.sg = static_cast<double>(good) / total;
+    mix.so = static_cast<double>(other) / total;
+    return mix;
+}
+
+} // namespace l0vliw::workloads

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Dynamic stride classification (the S / SG / SO columns of Table 1).
+ *
+ * A dynamic memory access is "strided" when the compiler derived a
+ * static stride for it; strided accesses are "good" (SG) when the
+ * stride is 0 or +-1 element at the original (pre-unroll) loop level —
+ * the patterns served by the mapping and prefetch hints — and "other"
+ * (SO) otherwise. Weights are dynamic: trips x invocations per loop.
+ */
+
+#ifndef L0VLIW_WORKLOADS_STRIDE_MIX_HH
+#define L0VLIW_WORKLOADS_STRIDE_MIX_HH
+
+#include "workloads/workload.hh"
+
+namespace l0vliw::workloads
+{
+
+/** Measured dynamic stride mix of a benchmark model. */
+struct StrideMix
+{
+    double s = 0;   ///< fraction of dynamic accesses with a stride
+    double sg = 0;  ///< fraction with a "good" stride (0 / +-1)
+    double so = 0;  ///< fraction with another stride
+};
+
+/** Classify every dynamic access of @p bench. */
+StrideMix measureStrideMix(const Benchmark &bench);
+
+} // namespace l0vliw::workloads
+
+#endif // L0VLIW_WORKLOADS_STRIDE_MIX_HH

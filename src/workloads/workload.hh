@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Benchmark models: weighted collections of inner loops.
+ *
+ * The paper evaluates 13 Mediabench programs compiled with IMPACT; the
+ * inner loops it modulo-schedules cover ~80% of the dynamic stream.
+ * Our models reproduce, per benchmark, the properties those loops
+ * expose to the compiler and the memory system: the dynamic stride mix
+ * of Table 1 (S/SG/SO), the unroll behaviour of Figure 6, working-set
+ * sizes (L1 behaviour), recurrence structure, and the pathologies the
+ * text singles out (jpegdec's prefetch evictions, epicdec/rasta's
+ * small-II late prefetches, pegwit*'s L1 misses, and the conservative
+ * dependence sets of epicdec/pgpdec/pgpenc/rasta that code
+ * specialization removes).
+ */
+
+#ifndef L0VLIW_WORKLOADS_WORKLOAD_HH
+#define L0VLIW_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.hh"
+
+namespace l0vliw::workloads
+{
+
+/** One inner loop plus its dynamic weight. */
+struct LoopInstance
+{
+    ir::Loop loop;
+    std::uint64_t trips = 256;      ///< iterations per invocation
+    std::uint64_t invocations = 8;  ///< times the loop is entered
+    /** Apply code specialization: strip conservative memory edges and
+     *  charge the runtime-check overhead per invocation. */
+    bool specialize = false;
+};
+
+/** Paper-reported reference values, used by the bench tables. */
+struct PaperReference
+{
+    double s = 0;       ///< Table 1 "S": % strided dynamic accesses
+    double sg = 0;      ///< Table 1 "SG": good strides (0 / +-1)
+    double so = 0;      ///< Table 1 "SO": other strides
+    double unroll = 0;  ///< Figure 6 average unrolling factor
+};
+
+/** A benchmark model. */
+struct Benchmark
+{
+    std::string name;
+    std::vector<LoopInstance> loops;
+    PaperReference paper;
+};
+
+/** Build one benchmark model by name (fatal on unknown name). */
+Benchmark makeBenchmark(const std::string &name);
+
+/** The full 13-benchmark suite in the paper's order. */
+std::vector<Benchmark> mediabenchSuite();
+
+/** The paper's benchmark order. */
+const std::vector<std::string> &benchmarkNames();
+
+} // namespace l0vliw::workloads
+
+#endif // L0VLIW_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * End-to-end integration tests: every benchmark under every
+ * architecture must produce valid schedules and a coherent execution
+ * (zero oracle violations), and the paper's headline relations must
+ * hold on the suite level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace l0vliw;
+using namespace l0vliw::driver;
+
+namespace
+{
+
+struct Case
+{
+    std::string bench;
+    std::string arch;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &b : workloads::benchmarkNames())
+        for (const auto &a :
+             {"unified", "l0-8", "l0-4", "multivliw", "int1", "int2"})
+            cases.push_back({b, a});
+    return cases;
+}
+
+ArchSpec
+archByName(const std::string &a)
+{
+    if (a == "unified")
+        return ArchSpec::unified();
+    if (a == "l0-8")
+        return ArchSpec::l0(8);
+    if (a == "l0-4")
+        return ArchSpec::l0(4);
+    if (a == "multivliw")
+        return ArchSpec::multiVliw();
+    if (a == "int1")
+        return ArchSpec::interleaved1();
+    return ArchSpec::interleaved2();
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string s = info.param.bench + "_" + info.param.arch;
+    for (auto &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+} // namespace
+
+class EndToEnd : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(EndToEnd, CoherentAndProductive)
+{
+    // The runner warns on invalid schedules (checked separately by the
+    // property tests); here the hard requirements are a coherent
+    // execution and a plausible cycle count.
+    ExperimentRunner runner;
+    workloads::Benchmark bench =
+        workloads::makeBenchmark(GetParam().bench);
+    BenchmarkRun r = runner.run(bench, archByName(GetParam().arch));
+    EXPECT_EQ(r.coherenceViolations, 0u)
+        << GetParam().bench << " on " << GetParam().arch;
+    EXPECT_GT(r.memAccesses, 0u);
+    EXPECT_GT(r.totalCycles(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, EndToEnd,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(SuiteLevel, EightEntryBuffersBeatBaselineOnAverage)
+{
+    ExperimentRunner runner;
+    ArchSpec l0 = ArchSpec::l0(8);
+    std::vector<double> norm;
+    for (const auto &name : workloads::benchmarkNames()) {
+        workloads::Benchmark b = workloads::makeBenchmark(name);
+        norm.push_back(runner.normalized(b, runner.run(b, l0)));
+    }
+    double mean = amean(norm);
+    // Paper: 16% better. Accept a generous band around that.
+    EXPECT_LT(mean, 0.95);
+    EXPECT_GT(mean, 0.70);
+}
+
+TEST(SuiteLevel, JpegdecIsTheOutlier)
+{
+    ExperimentRunner runner;
+    workloads::Benchmark b = workloads::makeBenchmark("jpegdec");
+    double n8 = runner.normalized(b, runner.run(b, ArchSpec::l0(8)));
+    EXPECT_GT(n8, 1.0); // the paper's only regression at 8 entries
+}
+
+TEST(SuiteLevel, MoreEntriesNeverHurtMuch)
+{
+    // 8 -> 16 -> unbounded must be monotone within noise on the mean.
+    ExperimentRunner runner;
+    std::vector<double> n8, n16, nun;
+    for (const auto &name : workloads::benchmarkNames()) {
+        workloads::Benchmark b = workloads::makeBenchmark(name);
+        n8.push_back(runner.normalized(b, runner.run(b, ArchSpec::l0(8))));
+        n16.push_back(
+            runner.normalized(b, runner.run(b, ArchSpec::l0(16))));
+        nun.push_back(
+            runner.normalized(b, runner.run(b, ArchSpec::l0(-1))));
+    }
+    EXPECT_LE(amean(n16), amean(n8) + 0.01);
+    EXPECT_LE(amean(nun), amean(n16) + 0.01);
+}
+
+TEST(SuiteLevel, L0BeatsWordInterleavedAndIsCloseToMultiVliw)
+{
+    ExperimentRunner runner;
+    std::vector<double> l0, mv, i1, i2;
+    for (const auto &name : workloads::benchmarkNames()) {
+        workloads::Benchmark b = workloads::makeBenchmark(name);
+        l0.push_back(runner.normalized(b, runner.run(b, ArchSpec::l0(8))));
+        mv.push_back(
+            runner.normalized(b, runner.run(b, ArchSpec::multiVliw())));
+        i1.push_back(runner.normalized(
+            b, runner.run(b, ArchSpec::interleaved1())));
+        i2.push_back(runner.normalized(
+            b, runner.run(b, ArchSpec::interleaved2())));
+    }
+    EXPECT_LT(amean(l0), amean(i1));
+    EXPECT_LT(amean(l0), amean(i2));
+    EXPECT_NEAR(amean(l0), amean(mv), 0.10);
+}
+
+TEST(SuiteLevel, PrefetchDistanceTwoHelpsSmallIIBenchmarks)
+{
+    // Paper: -12% (epicdec) and -4% (rasta). Our calibrated stall
+    // shares are smaller, so require "does not hurt, helps at least
+    // one" rather than the exact magnitudes (see EXPERIMENTS.md).
+    ExperimentRunner runner;
+    double gain = 0;
+    for (const auto &name : {"epicdec", "rasta"}) {
+        workloads::Benchmark b = workloads::makeBenchmark(name);
+        double d1 = runner.normalized(
+            b, runner.run(b, ArchSpec::l0PrefetchDistance(8, 1)));
+        double d2 = runner.normalized(
+            b, runner.run(b, ArchSpec::l0PrefetchDistance(8, 2)));
+        EXPECT_LT(d2, d1 + 0.03) << name;
+        gain = std::max(gain, d1 - d2);
+    }
+    EXPECT_GT(gain, 0.0);
+}
+
+TEST(SuiteLevel, RunnerIsDeterministic)
+{
+    ExperimentRunner r1, r2;
+    workloads::Benchmark b = workloads::makeBenchmark("gsmdec");
+    BenchmarkRun a = r1.run(b, ArchSpec::l0(8));
+    BenchmarkRun c = r2.run(b, ArchSpec::l0(8));
+    EXPECT_EQ(a.totalCycles(), c.totalCycles());
+    EXPECT_EQ(a.l0Hits, c.l0Hits);
+}
+
+TEST(SuiteLevel, ScalarRegionIdenticalAcrossArchitectures)
+{
+    ExperimentRunner runner;
+    workloads::Benchmark b = workloads::makeBenchmark("g721dec");
+    BenchmarkRun l0 = runner.run(b, ArchSpec::l0(8));
+    BenchmarkRun mv = runner.run(b, ArchSpec::multiVliw());
+    EXPECT_EQ(l0.scalarCycles, mv.scalarCycles);
+    EXPECT_EQ(l0.scalarCycles, runner.baseline(b).scalarCycles);
+}
