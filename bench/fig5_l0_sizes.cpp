@@ -57,7 +57,7 @@ main()
     }
     std::vector<std::string> mean{"AMEAN"};
     for (auto &v : norm) {
-        mean.push_back(TextTable::fmt(driver::amean(v)));
+        mean.push_back(TextTable::fmt(amean(v)));
         mean.push_back("");
     }
     mean.push_back("0");

@@ -50,7 +50,7 @@ main()
     }
     std::vector<std::string> mean{"AMEAN"};
     for (auto &v : norm) {
-        mean.push_back(TextTable::fmt(driver::amean(v)));
+        mean.push_back(TextTable::fmt(amean(v)));
         mean.push_back("");
     }
     t.addRow(mean);

@@ -13,6 +13,7 @@
 #include "mem/l0_buffer.hh"
 #include "mem/mem_system.hh"
 #include "sched/scheduler.hh"
+#include "sim/kernel_plan.hh"
 #include "sim/kernel_sim.hh"
 #include "workloads/kernels.hh"
 
@@ -76,8 +77,23 @@ BM_L0BufferLookup(benchmark::State &state)
 }
 BENCHMARK(BM_L0BufferLookup)->Arg(4)->Arg(8)->Arg(16);
 
+/**
+ * The kernel simulator, three ways on the same schedule and machine
+ * (Arg: 0 = coherence oracle off, 1 = on):
+ *
+ *  - Reference: the original cycle-walking executor, which rebuilds
+ *    the row buckets / edge lists / ready ring per invocation (the
+ *    "seed path" — the before number).
+ *  - PlanCold: compile a KernelPlan per invocation (what the
+ *    simulateInvocation() wrapper does) — compile cost included.
+ *  - PlanReused: one plan reused across every invocation, as
+ *    ExperimentRunner's plan cache does — the after number.
+ *
+ * All three share the setup: memory system created once, invocations
+ * chained on a shared clock, 256 trips per invocation.
+ */
 void
-BM_KernelSim(benchmark::State &state)
+BM_KernelSimReference(benchmark::State &state)
 {
     ir::Loop loop = benchLoop();
     machine::MachineConfig cfg = machine::MachineConfig::paperL0(8);
@@ -85,16 +101,58 @@ BM_KernelSim(benchmark::State &state)
     sched::Schedule sch = s.schedule(loop);
     sim::SimOptions opts;
     opts.checkCoherence = state.range(0) != 0;
+    auto mem = mem::MemSystem::create(cfg);
     Cycle clock = 0;
     for (auto _ : state) {
-        auto mem = mem::MemSystem::create(cfg);
+        auto res = sim::simulateInvocationReference(sch, *mem, 256,
+                                                    clock, opts);
+        clock += res.totalCycles();
+        benchmark::DoNotOptimize(res.stallCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_KernelSimReference)->Arg(0)->Arg(1);
+
+void
+BM_KernelSimPlanCold(benchmark::State &state)
+{
+    ir::Loop loop = benchLoop();
+    machine::MachineConfig cfg = machine::MachineConfig::paperL0(8);
+    sched::ModuloScheduler s(cfg, sched::SchedulerOptions::l0());
+    sched::Schedule sch = s.schedule(loop);
+    sim::SimOptions opts;
+    opts.checkCoherence = state.range(0) != 0;
+    auto mem = mem::MemSystem::create(cfg);
+    Cycle clock = 0;
+    for (auto _ : state) {
         auto res = sim::simulateInvocation(sch, *mem, 256, clock, opts);
         clock += res.totalCycles();
         benchmark::DoNotOptimize(res.stallCycles);
     }
     state.SetItemsProcessed(state.iterations() * 256);
 }
-BENCHMARK(BM_KernelSim)->Arg(0)->Arg(1);
+BENCHMARK(BM_KernelSimPlanCold)->Arg(0)->Arg(1);
+
+void
+BM_KernelSimPlanReused(benchmark::State &state)
+{
+    ir::Loop loop = benchLoop();
+    machine::MachineConfig cfg = machine::MachineConfig::paperL0(8);
+    sched::ModuloScheduler s(cfg, sched::SchedulerOptions::l0());
+    sched::Schedule sch = s.schedule(loop);
+    sim::SimOptions opts;
+    opts.checkCoherence = state.range(0) != 0;
+    auto mem = mem::MemSystem::create(cfg);
+    sim::KernelPlan plan(sch);
+    Cycle clock = 0;
+    for (auto _ : state) {
+        auto res = plan.run(*mem, 256, clock, opts);
+        clock += res.totalCycles();
+        benchmark::DoNotOptimize(res.stallCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_KernelSimPlanReused)->Arg(0)->Arg(1);
 
 } // namespace
 

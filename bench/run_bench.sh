@@ -1,0 +1,23 @@
+#!/bin/sh
+# Build with benchmarks enabled, run micro_perf, and write the results
+# to BENCH_micro.json at the repo root so successive PRs accumulate a
+# perf trajectory on the same machine.
+#
+# Usage: bench/run_bench.sh [extra google-benchmark args...]
+set -e
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build="$repo/build-bench"
+
+cmake -B "$build" -S "$repo" -DL0VLIW_BENCH=ON \
+      -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$build" --target micro_perf -j > /dev/null
+
+"$build/micro_perf" \
+    --benchmark_out="$repo/BENCH_micro.json" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true \
+    "$@"
+
+echo "wrote $repo/BENCH_micro.json"

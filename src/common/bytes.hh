@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small fixed-size byte copies for per-access hot paths.
+ *
+ * Simulated accesses move 1/2/4/8 bytes, but a memcpy whose size is a
+ * runtime variable compiles to a libc call; dispatching to a
+ * constant-size memcpy turns each case into a single load/store pair.
+ */
+
+#ifndef L0VLIW_COMMON_BYTES_HH
+#define L0VLIW_COMMON_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace l0vliw
+{
+
+/** memcpy @p n bytes, optimised for the access sizes 1/2/4/8. */
+inline void
+copySmall(std::uint8_t *dst, const std::uint8_t *src, int n)
+{
+    switch (n) {
+      case 1:
+        std::memcpy(dst, src, 1);
+        break;
+      case 2:
+        std::memcpy(dst, src, 2);
+        break;
+      case 4:
+        std::memcpy(dst, src, 4);
+        break;
+      case 8:
+        std::memcpy(dst, src, 8);
+        break;
+      default:
+        std::memcpy(dst, src, n);
+        break;
+    }
+}
+
+} // namespace l0vliw
+
+#endif // L0VLIW_COMMON_BYTES_HH

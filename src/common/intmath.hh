@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Integer division helpers for per-access hot paths.
+ *
+ * Cache geometry (block sizes, interleave factors, cluster counts) is
+ * a runtime configuration value, so the compiler must emit a hardware
+ * divide (~20+ cycles) for every `addr / factor`. In practice these
+ * divisors are powers of two; testing for that and shifting instead
+ * costs two cycles.
+ */
+
+#ifndef L0VLIW_COMMON_INTMATH_HH
+#define L0VLIW_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace l0vliw
+{
+
+/** True when @p d is a (nonzero) power of two. */
+inline bool
+isPow2(std::uint32_t d)
+{
+    return d != 0 && (d & (d - 1)) == 0;
+}
+
+/** x / d, with a shift when @p d is a power of two (the common case).
+ *  d == 0 falls through to the hardware divide, which traps loudly —
+ *  same behaviour a plain x / d had for an invalid configuration. */
+inline std::uint64_t
+fastDiv(std::uint64_t x, std::uint32_t d)
+{
+    if (isPow2(d))
+        return x >> __builtin_ctz(d);
+    return x / d;
+}
+
+/** x % d, with a mask when @p d is a power of two (the common case).
+ *  d == 0 traps in the fallback divide, as with a plain x % d. */
+inline std::uint64_t
+fastMod(std::uint64_t x, std::uint32_t d)
+{
+    if (isPow2(d))
+        return x & (d - 1);
+    return x % d;
+}
+
+} // namespace l0vliw
+
+#endif // L0VLIW_COMMON_INTMATH_HH

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace l0vliw
 {
@@ -36,6 +37,30 @@ class StatSet
         return it == counters.end() ? 0 : it->second;
     }
 
+    /**
+     * Set counter @p name to an absolute value. Components that count
+     * on their hottest paths keep plain integer members and publish
+     * them here when their stats are read — string-keyed map lookups
+     * are far too slow for a per-access path.
+     */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters[name] = value;
+    }
+
+    /**
+     * set() only when @p value is nonzero: keeps the published set
+     * identical to what add()-based counting would have created (a
+     * counter exists only once it has been hit).
+     */
+    void
+    setNonzero(const std::string &name, std::uint64_t value)
+    {
+        if (value)
+            set(name, value);
+    }
+
     /** Merge all counters of @p other into this set. */
     void
     merge(const StatSet &other)
@@ -56,6 +81,18 @@ class StatSet
   private:
     std::map<std::string, std::uint64_t> counters;
 };
+
+/** Arithmetic mean of a vector (the paper's AMEAN column). */
+inline double
+amean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / xs.size();
+}
 
 } // namespace l0vliw
 

@@ -38,6 +38,12 @@ ArchSpec::l0(int entries, sched::CoherenceMode mode)
     ArchSpec a;
     a.label = entries < 0 ? "l0-unbounded"
                           : "l0-" + std::to_string(entries);
+    // The label keys the runner's plan cache, so every option that
+    // changes scheduling must show up in it.
+    if (mode == sched::CoherenceMode::ForceNL0)
+        a.label += "-nl0";
+    else if (mode == sched::CoherenceMode::Psr)
+        a.label += "-psr";
     a.config = machine::MachineConfig::paperL0(entries);
     a.sched = sched::SchedulerOptions::l0(mode);
     a.sched.memLoadLatency = a.config.l1Latency;
@@ -125,32 +131,25 @@ ExperimentRunner::unrollFactors(const workloads::Benchmark &bench)
         .first->second;
 }
 
-BenchmarkRun
-ExperimentRunner::run(const workloads::Benchmark &bench,
-                      const ArchSpec &arch)
+const std::vector<std::shared_ptr<sim::KernelPlan>> &
+ExperimentRunner::loopPlans(const workloads::Benchmark &bench,
+                            const ArchSpec &arch)
 {
-    BenchmarkRun out;
-    out.bench = bench.name;
-    out.arch = arch.label;
+    std::string key = bench.name + '\0' + arch.label;
+    auto it = planCache.find(key);
+    if (it != planCache.end())
+        return it->second;
 
-    auto mem = mem::MemSystem::create(arch.config);
     sched::ModuloScheduler scheduler(arch.config, arch.sched);
     const std::vector<int> &unrolls = unrollFactors(bench);
 
-    sim::SimOptions sim_opts;
-    sim_opts.checkCoherence = true;
-
-    Cycle clock = 0;
-    double unroll_weighted = 0;
-    std::uint64_t loop_cycles_total = 0;
-
+    std::vector<std::shared_ptr<sim::KernelPlan>> plans;
     for (std::size_t i = 0; i < bench.loops.size(); ++i) {
         const workloads::LoopInstance &li = bench.loops[i];
         ir::Loop body =
             li.specialize ? ir::specializeLoop(li.loop) : li.loop;
-        int u = unrolls[i];
-        if (u > 1)
-            body = ir::unrollLoop(body, u);
+        if (unrolls[i] > 1)
+            body = ir::unrollLoop(body, unrolls[i]);
 
         sched::Schedule schedule = scheduler.schedule(body);
         // The all-candidates ablation intentionally overflows the L0
@@ -162,12 +161,38 @@ ExperimentRunner::run(const workloads::Benchmark &bench,
                 warn("%s/%s: invalid schedule: %s", bench.name.c_str(),
                      body.name().c_str(), v.c_str());
         }
+        plans.push_back(std::make_shared<sim::KernelPlan>(schedule));
+    }
+    return planCache.emplace(key, std::move(plans)).first->second;
+}
 
+BenchmarkRun
+ExperimentRunner::run(const workloads::Benchmark &bench,
+                      const ArchSpec &arch)
+{
+    BenchmarkRun out;
+    out.bench = bench.name;
+    out.arch = arch.label;
+
+    auto mem = mem::MemSystem::create(arch.config);
+    const std::vector<int> &unrolls = unrollFactors(bench);
+    const auto &plans = loopPlans(bench, arch);
+
+    sim::SimOptions sim_opts;
+    sim_opts.checkCoherence = true;
+
+    Cycle clock = 0;
+    double unroll_weighted = 0;
+    std::uint64_t loop_cycles_total = 0;
+
+    for (std::size_t i = 0; i < bench.loops.size(); ++i) {
+        const workloads::LoopInstance &li = bench.loops[i];
+        int u = unrolls[i];
         std::uint64_t trips = li.trips / u;
         std::uint64_t loop_cycles = 0;
         for (std::uint64_t inv = 0; inv < li.invocations; ++inv) {
-            sim::InvocationResult res = sim::simulateInvocation(
-                schedule, *mem, trips, clock, sim_opts);
+            sim::InvocationResult res =
+                plans[i]->run(*mem, trips, clock, sim_opts);
             std::uint64_t spec_cost =
                 li.specialize ? kSpecializationCheckCycles : 0;
             clock += res.totalCycles() + spec_cost;
@@ -232,17 +257,6 @@ ExperimentRunner::normalizedStall(const workloads::Benchmark &bench,
 {
     const BenchmarkRun &base = baseline(bench);
     return static_cast<double>(r.loopStall) / base.totalCycles();
-}
-
-double
-amean(const std::vector<double> &xs)
-{
-    if (xs.empty())
-        return 0;
-    double sum = 0;
-    for (double x : xs)
-        sum += x;
-    return sum / xs.size();
 }
 
 } // namespace l0vliw::driver

@@ -19,12 +19,14 @@
 #define L0VLIW_DRIVER_RUNNER_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "machine/machine_config.hh"
 #include "sched/scheduler.hh"
+#include "sim/kernel_plan.hh"
 #include "workloads/workload.hh"
 
 namespace l0vliw::driver
@@ -112,12 +114,22 @@ class ExperimentRunner
     const std::vector<int> &
     unrollFactors(const workloads::Benchmark &bench);
 
+    /**
+     * Compiled kernel plans of @p bench under @p arch, one per loop,
+     * scheduled and validated once and then reused across every
+     * invocation (and every repeated run() of the same pair). Keyed by
+     * (bench.name, arch.label): ArchSpec labels must uniquely identify
+     * the machine config + scheduler options they carry — all the
+     * ArchSpec factories guarantee that.
+     */
+    const std::vector<std::shared_ptr<sim::KernelPlan>> &
+    loopPlans(const workloads::Benchmark &bench, const ArchSpec &arch);
+
     std::map<std::string, std::vector<int>> unrollCache;
     std::map<std::string, BenchmarkRun> baselineCache;
+    std::map<std::string, std::vector<std::shared_ptr<sim::KernelPlan>>>
+        planCache;
 };
-
-/** Arithmetic mean of a vector (the paper's AMEAN column). */
-double amean(const std::vector<double> &xs);
 
 } // namespace l0vliw::driver
 

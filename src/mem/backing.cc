@@ -1,5 +1,10 @@
 #include "mem/backing.hh"
 
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.hh"
+
 namespace l0vliw::mem
 {
 
@@ -18,6 +23,8 @@ Backing::Page &
 Backing::pageFor(Addr addr)
 {
     Addr page_id = addr / pageBytes;
+    if (page_id == cachedId)
+        return *cachedPage;
     auto it = pages.find(page_id);
     if (it == pages.end()) {
         Page p;
@@ -27,26 +34,57 @@ Backing::pageFor(Addr addr)
             p.data[i] = defaultByte(base + i);
         it = pages.emplace(page_id, std::move(p)).first;
     }
+    cachedId = page_id;
+    cachedPage = &it->second;
     return it->second;
+}
+
+const Backing::Page *
+Backing::findPage(Addr addr) const
+{
+    Addr page_id = addr / pageBytes;
+    if (page_id == cachedId)
+        return cachedPage;
+    auto it = pages.find(page_id);
+    if (it == pages.end())
+        return nullptr;
+    cachedId = page_id;
+    cachedPage = const_cast<Page *>(&it->second);
+    return &it->second;
 }
 
 void
 Backing::read(Addr addr, std::uint8_t *out, int size) const
 {
-    for (int i = 0; i < size; ++i) {
-        Addr a = addr + i;
-        auto it = pages.find(a / pageBytes);
-        out[i] = it == pages.end() ? defaultByte(a)
-                                   : it->second.data[a % pageBytes];
+    // Page-span (not per-byte) resolution: one lookup per page touched,
+    // and accesses of at most 8 bytes touch at most two.
+    while (size > 0) {
+        Addr off = addr % pageBytes;
+        int n = static_cast<int>(
+            std::min<Addr>(size, pageBytes - off));
+        if (const Page *p = findPage(addr)) {
+            copySmall(out, p->data.data() + off, n);
+        } else {
+            for (int i = 0; i < n; ++i)
+                out[i] = defaultByte(addr + i);
+        }
+        addr += n;
+        out += n;
+        size -= n;
     }
 }
 
 void
 Backing::write(Addr addr, const std::uint8_t *in, int size)
 {
-    for (int i = 0; i < size; ++i) {
-        Addr a = addr + i;
-        pageFor(a).data[a % pageBytes] = in[i];
+    while (size > 0) {
+        Addr off = addr % pageBytes;
+        int n = static_cast<int>(
+            std::min<Addr>(size, pageBytes - off));
+        copySmall(pageFor(addr).data.data() + off, in, n);
+        addr += n;
+        in += n;
+        size -= n;
     }
 }
 

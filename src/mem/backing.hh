@@ -38,10 +38,17 @@ class Backing
     static std::uint8_t defaultByte(Addr addr);
 
     /** Drop all written data (reset to the default pattern). */
-    void clear() { pages.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        cachedId = kNoPage;
+        cachedPage = nullptr;
+    }
 
   private:
     static constexpr Addr pageBytes = 4096;
+    static constexpr Addr kNoPage = ~0ULL;
 
     struct Page
     {
@@ -51,7 +58,17 @@ class Backing
     /** Get the page holding @p addr, materialising it on demand. */
     Page &pageFor(Addr addr);
 
+    /** Materialised page containing @p addr, or null. */
+    const Page *findPage(Addr addr) const;
+
     std::unordered_map<Addr, Page> pages;
+    /**
+     * One-entry page cache: accesses stream sequentially, so almost
+     * every access lands on the last page touched. Pointers into the
+     * node-based map stay valid until clear().
+     */
+    mutable Addr cachedId = kNoPage;
+    mutable Page *cachedPage = nullptr;
 };
 
 } // namespace l0vliw::mem

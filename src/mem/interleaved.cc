@@ -30,8 +30,9 @@ InterleavedMemSystem::localAddr(Addr addr) const
 MemAccessResult
 InterleavedMemSystem::access(const MemAccess &acc, Cycle now,
                              const std::uint8_t *store_data,
-                             std::uint8_t *load_out)
+                             std::uint8_t *load_out, AccessScratch &scratch)
 {
+    (void)scratch; // no per-access staging on this architecture
     MemAccessResult res;
     ClusterId home = owner(acc.addr);
     // Accesses spanning an ownership boundary involve two clusters;
@@ -49,11 +50,10 @@ InterleavedMemSystem::access(const MemAccess &acc, Cycle now,
             if (c == acc.cluster)
                 continue;
             if (abs[c].invalidate(acc.addr))
-                statSet.add("ab_store_invalidations");
+                ++hot.abStoreInvalidations;
         }
         back.write(acc.addr, store_data, acc.size);
-        statSet.add(home == acc.cluster ? "wi_local_stores"
-                                        : "wi_remote_stores");
+        ++(home == acc.cluster ? hot.localStores : hot.remoteStores);
         res.ready = now + 1;
         res.local = home == acc.cluster;
         return res;
@@ -63,7 +63,7 @@ InterleavedMemSystem::access(const MemAccess &acc, Cycle now,
     if (home == acc.cluster && !spans) {
         bool hit = slices[home].access(localAddr(acc.addr),
                                        /*allocate=*/true);
-        statSet.add(hit ? "wi_local_hits" : "wi_local_misses");
+        ++(hit ? hot.localHits : hot.localMisses);
         res.ready = now + cfg.wiLocalHitLatency
                     + (hit ? 0 : cfg.l2Latency);
         res.local = true;
@@ -77,11 +77,11 @@ InterleavedMemSystem::access(const MemAccess &acc, Cycle now,
     } else {
         // Remote word: try the local Attraction Buffer first.
         if (abs[acc.cluster].access(acc.addr, /*allocate=*/false)) {
-            statSet.add("ab_hits");
+            ++hot.abHits;
             res.ready = now + cfg.wiLocalHitLatency;
             res.local = true;
         } else {
-            statSet.add("wi_remote_accesses");
+            ++hot.remoteAccesses;
             bool hit = slices[home].access(localAddr(acc.addr),
                                            /*allocate=*/true);
             res.ready = now + cfg.wiLocalHitLatency + cfg.wiRemotePenalty
@@ -94,6 +94,18 @@ InterleavedMemSystem::access(const MemAccess &acc, Cycle now,
     if (acc.isLoad && load_out)
         back.read(acc.addr, load_out, acc.size);
     return res;
+}
+
+void
+InterleavedMemSystem::syncStats() const
+{
+    statSet.setNonzero("ab_store_invalidations", hot.abStoreInvalidations);
+    statSet.setNonzero("wi_local_stores", hot.localStores);
+    statSet.setNonzero("wi_remote_stores", hot.remoteStores);
+    statSet.setNonzero("wi_local_hits", hot.localHits);
+    statSet.setNonzero("wi_local_misses", hot.localMisses);
+    statSet.setNonzero("ab_hits", hot.abHits);
+    statSet.setNonzero("wi_remote_accesses", hot.remoteAccesses);
 }
 
 } // namespace l0vliw::mem

@@ -25,14 +25,16 @@ namespace l0vliw::mem
 {
 
 /** Word-interleaved slices plus Attraction Buffers. */
-class InterleavedMemSystem : public MemSystem
+class InterleavedMemSystem final : public MemSystem
 {
   public:
     explicit InterleavedMemSystem(const machine::MachineConfig &config);
 
+    using MemSystem::access;
     MemAccessResult access(const MemAccess &acc, Cycle now,
                            const std::uint8_t *store_data,
-                           std::uint8_t *load_out) override;
+                           std::uint8_t *load_out,
+                           AccessScratch &scratch) override;
 
     /** Cluster statically owning the word at @p addr. */
     ClusterId owner(Addr addr) const
@@ -49,8 +51,23 @@ class InterleavedMemSystem : public MemSystem
      */
     Addr localAddr(Addr addr) const;
 
+    void syncStats() const override;
+
+    /** Per-access counters as plain integers (see L0Buffer). */
+    struct HotCounters
+    {
+        std::uint64_t abStoreInvalidations = 0;
+        std::uint64_t localStores = 0;
+        std::uint64_t remoteStores = 0;
+        std::uint64_t localHits = 0;
+        std::uint64_t localMisses = 0;
+        std::uint64_t abHits = 0;
+        std::uint64_t remoteAccesses = 0;
+    };
+
     std::vector<TagCache> slices;
     std::vector<TagCache> abs; // attraction buffers (word-grained)
+    HotCounters hot;
 };
 
 } // namespace l0vliw::mem

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/bytes.hh"
+#include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace l0vliw::mem
@@ -9,11 +11,14 @@ namespace l0vliw::mem
 
 L0Buffer::L0Buffer(int num_entries, int subblock_bytes, int num_clusters)
     : numEntries(num_entries), subblockBytes(subblock_bytes),
-      numClusters(num_clusters)
+      numClusters(num_clusters),
+      blockBytes(static_cast<Addr>(subblock_bytes) * num_clusters)
 {
     L0_ASSERT(subblockBytes > 0 && numClusters > 0, "bad L0 geometry");
-    if (numEntries > 0)
+    if (numEntries > 0) {
         entries.resize(numEntries);
+        quick.assign(numEntries, kNoBlock);
+    }
 }
 
 bool
@@ -21,9 +26,9 @@ L0Buffer::contains(const L0Entry &e, Addr addr, int size) const
 {
     if (!e.valid)
         return false;
-    const Addr block_bytes =
-        static_cast<Addr>(subblockBytes) * numClusters;
-    if (addr < e.blockAddr || addr + size > e.blockAddr + block_bytes)
+    // One unsigned compare rejects everything outside the block.
+    if (addr - e.blockAddr >= blockBytes
+        || addr + size > e.blockAddr + blockBytes)
         return false;
     if (e.kind == ir::MapHint::LinearMap) {
         Addr base = e.blockAddr + static_cast<Addr>(e.index) * subblockBytes;
@@ -36,11 +41,11 @@ L0Buffer::contains(const L0Entry &e, Addr addr, int size) const
     if (size > e.factor)
         return false;
     Addr off = addr - e.blockAddr;
-    Addr first_elem = off / e.factor;
-    Addr last_elem = (off + size - 1) / e.factor;
+    Addr first_elem = fastDiv(off, e.factor);
+    Addr last_elem = fastDiv(off + size - 1, e.factor);
     if (first_elem != last_elem)
         return false;
-    return static_cast<int>(first_elem % numClusters) == e.index;
+    return static_cast<int>(fastMod(first_elem, numClusters)) == e.index;
 }
 
 int
@@ -48,14 +53,21 @@ L0Buffer::payloadOffset(const L0Entry &e, Addr addr, int size) const
 {
     if (!contains(e, addr, size))
         return -1;
+    return payloadOffsetUnchecked(e, addr);
+}
+
+int
+L0Buffer::payloadOffsetUnchecked(const L0Entry &e, Addr addr) const
+{
     if (e.kind == ir::MapHint::LinearMap) {
         Addr base = e.blockAddr + static_cast<Addr>(e.index) * subblockBytes;
         return static_cast<int>(addr - base);
     }
     Addr off = addr - e.blockAddr;
-    Addr elem = off / e.factor;
-    Addr slot = elem / numClusters; // elements packed densely by residue
-    return static_cast<int>(slot * e.factor + off % e.factor);
+    Addr elem = fastDiv(off, e.factor);
+    // Elements packed densely by residue.
+    Addr slot = fastDiv(elem, numClusters);
+    return static_cast<int>(slot * e.factor + fastMod(off, e.factor));
 }
 
 L0Lookup
@@ -64,7 +76,11 @@ L0Buffer::lookup(Addr addr, int size, std::uint8_t *out)
     L0Lookup res;
     L0Entry *best = nullptr;
     int best_idx = -1;
-    for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t i = 0; i < quick.size(); ++i) {
+        // Cheap block-range reject against the dense address array
+        // before touching the entry itself (kNoBlock never passes).
+        if (addr - quick[i] >= blockBytes)
+            continue;
         L0Entry &e = entries[i];
         if (!contains(e, addr, size))
             continue;
@@ -74,15 +90,15 @@ L0Buffer::lookup(Addr addr, int size, std::uint8_t *out)
         }
     }
     if (!best) {
-        statSet.add("l0_misses");
+        ++hot.misses;
         return res;
     }
     best->lastUse = ++useClock;
     res.hit = true;
     res.entry = best_idx;
-    int off = payloadOffset(*best, addr, size);
+    int off = payloadOffsetUnchecked(*best, addr);
     if (out)
-        std::memcpy(out, best->data.data() + off, size);
+        copySmall(out, best->data.data() + off, size);
 
     // Boundary detection for the POSITIVE / NEGATIVE prefetch hints:
     // did this access touch the subblock's extremal element?
@@ -94,45 +110,47 @@ L0Buffer::lookup(Addr addr, int size, std::uint8_t *out)
         res.firstElement = off < best->factor;
         res.lastElement = off + size > subblockBytes - best->factor;
     }
-    statSet.add("l0_hits");
+    ++hot.hits;
     return res;
 }
 
-L0Entry &
-L0Buffer::victim()
+std::size_t
+L0Buffer::victimIndex()
 {
     if (unbounded()) {
         entries.emplace_back();
         entries.back().data.resize(subblockBytes);
-        return entries.back();
+        quick.push_back(kNoBlock);
+        return entries.size() - 1;
     }
-    L0Entry *v = &entries[0];
-    for (auto &e : entries) {
-        if (!e.valid)
-            return e;
-        if (e.lastUse < v->lastUse)
-            v = &e;
+    std::size_t v = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].valid)
+            return i;
+        if (entries[i].lastUse < entries[v].lastUse)
+            v = i;
     }
-    statSet.add("l0_evictions");
-    return *v;
+    ++hot.evictions;
+    return v;
 }
 
 void
 L0Buffer::fillLinear(Addr block_addr, int sub_index,
                      const std::uint8_t *sub_data)
 {
-    if (hasLinear(block_addr, sub_index)) {
-        // Refill of a present subblock: refresh the data (it may be a
-        // demand refill racing a prefetch); no new entry.
-        for (auto &e : entries) {
-            if (e.valid && e.kind == ir::MapHint::LinearMap
-                    && e.blockAddr == block_addr && e.index == sub_index) {
-                std::memcpy(e.data.data(), sub_data, subblockBytes);
-                return;
-            }
+    // Refill of a present subblock: refresh the data (it may be a
+    // demand refill racing a prefetch); no new entry.
+    for (std::size_t i = 0; i < quick.size(); ++i) {
+        if (quick[i] != block_addr)
+            continue;
+        L0Entry &e = entries[i];
+        if (e.kind == ir::MapHint::LinearMap && e.index == sub_index) {
+            std::memcpy(e.data.data(), sub_data, subblockBytes);
+            return;
         }
     }
-    L0Entry &e = victim();
+    std::size_t vi = victimIndex();
+    L0Entry &e = entries[vi];
     e.valid = true;
     e.blockAddr = block_addr;
     e.kind = ir::MapHint::LinearMap;
@@ -142,7 +160,8 @@ L0Buffer::fillLinear(Addr block_addr, int sub_index,
     if (e.data.size() != static_cast<std::size_t>(subblockBytes))
         e.data.resize(subblockBytes);
     std::memcpy(e.data.data(), sub_data, subblockBytes);
-    statSet.add("l0_fills_linear");
+    syncQuick(vi);
+    ++hot.fillsLinear;
 }
 
 void
@@ -152,24 +171,20 @@ L0Buffer::fillInterleaved(Addr block_addr, int factor, int residue,
     L0_ASSERT(factor > 0 && subblockBytes % factor == 0,
               "interleave factor %d incompatible with %d-byte subblocks",
               factor, subblockBytes);
-    // Gather this residue's elements from the whole block.
-    std::vector<std::uint8_t> packed(subblockBytes);
-    int slots = subblockBytes / factor;
-    for (int s = 0; s < slots; ++s) {
-        int elem = s * numClusters + residue;
-        std::memcpy(packed.data() + s * factor,
-                    block_data + elem * factor, factor);
-    }
 
-    for (auto &e : entries) {
-        if (e.valid && e.kind == ir::MapHint::InterleavedMap
-                && e.blockAddr == block_addr && e.factor == factor
-                && e.index == residue) {
-            std::memcpy(e.data.data(), packed.data(), subblockBytes);
+    // Refill of a present subblock: refresh the data in place.
+    for (std::size_t i = 0; i < quick.size(); ++i) {
+        if (quick[i] != block_addr)
+            continue;
+        L0Entry &e = entries[i];
+        if (e.kind == ir::MapHint::InterleavedMap && e.factor == factor
+            && e.index == residue) {
+            gatherResidue(e.data.data(), block_data, factor, residue);
             return;
         }
     }
-    L0Entry &e = victim();
+    std::size_t vi = victimIndex();
+    L0Entry &e = entries[vi];
     e.valid = true;
     e.blockAddr = block_addr;
     e.kind = ir::MapHint::InterleavedMap;
@@ -178,8 +193,21 @@ L0Buffer::fillInterleaved(Addr block_addr, int factor, int residue,
     e.lastUse = ++useClock;
     if (e.data.size() != static_cast<std::size_t>(subblockBytes))
         e.data.resize(subblockBytes);
-    std::memcpy(e.data.data(), packed.data(), subblockBytes);
-    statSet.add("l0_fills_interleaved");
+    gatherResidue(e.data.data(), block_data, factor, residue);
+    syncQuick(vi);
+    ++hot.fillsInterleaved;
+}
+
+void
+L0Buffer::gatherResidue(std::uint8_t *dst, const std::uint8_t *block_data,
+                        int factor, int residue) const
+{
+    // Pack this residue's elements of the block densely into dst.
+    int slots = subblockBytes / factor;
+    for (int s = 0; s < slots; ++s) {
+        int elem = s * numClusters + residue;
+        copySmall(dst + s * factor, block_data + elem * factor, factor);
+    }
 }
 
 bool
@@ -188,7 +216,10 @@ L0Buffer::store(Addr addr, int size, const std::uint8_t *in)
     // Update the most recently used matching copy; invalidate the rest
     // (one write port, Section 4.1 intra-cluster coherence).
     L0Entry *update = nullptr;
-    for (auto &e : entries) {
+    for (std::size_t i = 0; i < quick.size(); ++i) {
+        if (addr - quick[i] >= blockBytes)
+            continue;
+        L0Entry &e = entries[i];
         if (!contains(e, addr, size))
             continue;
         if (!update || e.lastUse > update->lastUse)
@@ -196,25 +227,32 @@ L0Buffer::store(Addr addr, int size, const std::uint8_t *in)
     }
     if (!update)
         return false;
-    for (auto &e : entries) {
+    for (std::size_t i = 0; i < quick.size(); ++i) {
+        if (addr - quick[i] >= blockBytes)
+            continue;
+        L0Entry &e = entries[i];
         if (&e != update && contains(e, addr, size)) {
             e.valid = false;
-            statSet.add("l0_store_dup_invalidations");
+            syncQuick(i);
+            ++hot.storeDupInvalidations;
         }
     }
-    int off = payloadOffset(*update, addr, size);
-    std::memcpy(update->data.data() + off, in, size);
-    statSet.add("l0_store_updates");
+    int off = payloadOffsetUnchecked(*update, addr);
+    copySmall(update->data.data() + off, in, size);
+    ++hot.storeUpdates;
     return true;
 }
 
 void
 L0Buffer::invalidateMatching(Addr addr, int size)
 {
-    for (auto &e : entries) {
-        if (contains(e, addr, size)) {
-            e.valid = false;
-            statSet.add("l0_psr_invalidations");
+    for (std::size_t i = 0; i < quick.size(); ++i) {
+        if (addr - quick[i] >= blockBytes)
+            continue;
+        if (contains(entries[i], addr, size)) {
+            entries[i].valid = false;
+            syncQuick(i);
+            ++hot.psrInvalidations;
         }
     }
 }
@@ -226,7 +264,8 @@ L0Buffer::invalidateAll()
         e.valid = false;
     if (unbounded())
         entries.clear();
-    statSet.add("l0_flushes");
+    quick.assign(entries.size(), kNoBlock);
+    ++hot.flushes;
 }
 
 bool
@@ -248,6 +287,20 @@ L0Buffer::hasInterleaved(Addr block_addr, int factor, int residue) const
                 && e.index == residue)
             return true;
     return false;
+}
+
+void
+L0Buffer::syncStats() const
+{
+    statSet.setNonzero("l0_hits", hot.hits);
+    statSet.setNonzero("l0_misses", hot.misses);
+    statSet.setNonzero("l0_evictions", hot.evictions);
+    statSet.setNonzero("l0_fills_linear", hot.fillsLinear);
+    statSet.setNonzero("l0_fills_interleaved", hot.fillsInterleaved);
+    statSet.setNonzero("l0_store_updates", hot.storeUpdates);
+    statSet.setNonzero("l0_store_dup_invalidations", hot.storeDupInvalidations);
+    statSet.setNonzero("l0_psr_invalidations", hot.psrInvalidations);
+    statSet.setNonzero("l0_flushes", hot.flushes);
 }
 
 int

@@ -120,8 +120,8 @@ class L0Buffer
     int capacity() const { return numEntries; }
     bool unbounded() const { return numEntries < 0; }
 
-    StatSet &stats() { return statSet; }
-    const StatSet &stats() const { return statSet; }
+    StatSet &stats() { syncStats(); return statSet; }
+    const StatSet &stats() const { syncStats(); return statSet; }
 
   private:
     /** True when entry @p e contains all bytes of [addr, addr+size). */
@@ -130,15 +130,63 @@ class L0Buffer
     /** Byte offset inside the entry payload for @p addr, or -1. */
     int payloadOffset(const L0Entry &e, Addr addr, int size) const;
 
+    /** payloadOffset() for an entry already known to contain addr. */
+    int payloadOffsetUnchecked(const L0Entry &e, Addr addr) const;
+
     /** Pick a slot for a new entry (invalid first, else LRU victim). */
-    L0Entry &victim();
+    std::size_t victimIndex();
+
+    /** Pack residue's elements of an L1 block densely into @p dst. */
+    void gatherResidue(std::uint8_t *dst, const std::uint8_t *block_data,
+                       int factor, int residue) const;
+
+    /** Publish the hot counters into statSet (on stats() reads). */
+    void syncStats() const;
+
+    /**
+     * Per-access counters as plain integers: lookup/fill/store run
+     * once per simulated memory access, where a string-keyed map
+     * update is measurably the dominant cost.
+     */
+    struct HotCounters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t fillsLinear = 0;
+        std::uint64_t fillsInterleaved = 0;
+        std::uint64_t storeUpdates = 0;
+        std::uint64_t storeDupInvalidations = 0;
+        std::uint64_t psrInvalidations = 0;
+        std::uint64_t flushes = 0;
+    };
+
+    /** quick[] value of an invalid entry; rejects any realistic addr. */
+    static constexpr Addr kNoBlock = 1ULL << 63;
+
+    /** Keep quick[idx] in sync after a validity/blockAddr change. */
+    void
+    syncQuick(std::size_t idx)
+    {
+        quick[idx] =
+            entries[idx].valid ? entries[idx].blockAddr : kNoBlock;
+    }
 
     int numEntries;
     int subblockBytes;
     int numClusters;
+    Addr blockBytes; ///< subblockBytes * numClusters, hoisted
     std::uint64_t useClock = 0;
     std::vector<L0Entry> entries;
-    StatSet statSet;
+    /**
+     * Dense copy of each entry's block address (kNoBlock when
+     * invalid). lookup()/store() run once per simulated access and
+     * scan every entry; one unsigned compare against this array
+     * rejects an entry without touching its cache line.
+     */
+    std::vector<Addr> quick;
+    HotCounters hot;
+    mutable StatSet statSet;
 };
 
 } // namespace l0vliw::mem

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace l0vliw::mem
@@ -18,7 +19,7 @@ L0MemSystem::L0MemSystem(const machine::MachineConfig &config)
 }
 
 void
-L0MemSystem::commitFills(Cycle now)
+L0MemSystem::commitFillsSlow(Cycle now, AccessScratch &scratch)
 {
     auto it = pending.begin();
     while (it != pending.end()) {
@@ -27,7 +28,8 @@ L0MemSystem::commitFills(Cycle now)
             continue;
         }
         const int block_bytes = cfg.l1BlockBytes;
-        std::vector<std::uint8_t> block(block_bytes);
+        std::vector<std::uint8_t> &block = scratch.blockBuf;
+        block.resize(block_bytes);
         back.read(it->blockAddr, block.data(), block_bytes);
         if (it->interleaved) {
             // Scatter residues r0, r0+1, ... to consecutive clusters
@@ -58,12 +60,13 @@ L0MemSystem::coveringFill(const MemAccess &acc) const
             if (acc.size > f.factor)
                 continue;
             Addr off = acc.addr - f.blockAddr;
-            Addr first_elem = off / f.factor;
-            Addr last_elem = (off + acc.size - 1) / f.factor;
+            Addr first_elem = fastDiv(off, f.factor);
+            Addr last_elem = fastDiv(off + acc.size - 1, f.factor);
             if (first_elem != last_elem)
                 continue;
             // Which cluster will receive this element's residue?
-            int residue = static_cast<int>(first_elem % cfg.numClusters);
+            int residue =
+                static_cast<int>(fastMod(first_elem, cfg.numClusters));
             int k = (residue - f.firstResidue + cfg.numClusters)
                     % cfg.numClusters;
             ClusterId c = (f.firstCluster + k) % cfg.numClusters;
@@ -85,7 +88,7 @@ Cycle
 L0MemSystem::l1AccessLatency(Addr addr, bool allocate)
 {
     bool hit = l1.access(addr, allocate);
-    statSet.add(hit ? "l1_hits" : "l1_misses");
+    ++(hit ? hot.l1Hits : hot.l1Misses);
     return cfg.l1Latency + (hit ? 0 : cfg.l2Latency);
 }
 
@@ -102,12 +105,12 @@ L0MemSystem::startFill(const MemAccess &acc, Cycle grant)
         lat += cfg.interleavePenalty;
         f.interleaved = true;
         f.factor = acc.size;
-        f.firstResidue = static_cast<int>(
-            ((acc.addr - block) / acc.size) % cfg.numClusters);
+        f.firstResidue = static_cast<int>(fastMod(
+            fastDiv(acc.addr - block, acc.size), cfg.numClusters));
     } else {
         f.interleaved = false;
         f.subIndex = static_cast<int>(
-            (acc.addr - block) / cfg.l0SubblockBytes);
+            fastDiv(acc.addr - block, cfg.l0SubblockBytes));
     }
     f.ready = grant + lat;
     pending.push_back(f);
@@ -133,7 +136,7 @@ L0MemSystem::prefetchLinear(Addr block_addr, int sub_index,
     f.subIndex = sub_index;
     f.firstCluster = cluster;
     pending.push_back(f);
-    statSet.add("prefetch_fills_linear");
+    ++hot.prefetchFillsLinear;
 }
 
 void
@@ -158,21 +161,13 @@ L0MemSystem::prefetchInterleaved(Addr block_addr, int factor,
     f.firstResidue = first_residue;
     f.firstCluster = first_cluster;
     pending.push_back(f);
-    statSet.add("prefetch_fills_interleaved");
+    ++hot.prefetchFillsInterleaved;
 }
 
 void
-L0MemSystem::triggerHintPrefetch(const MemAccess &acc, const L0Lookup &hit,
-                                 Cycle now)
+L0MemSystem::hintPrefetchSlow(const MemAccess &acc, bool positive,
+                              Cycle now)
 {
-    if (acc.prefetch == ir::PrefetchHint::NoPrefetch)
-        return;
-    bool positive = acc.prefetch == ir::PrefetchHint::Positive;
-    if (positive && !hit.lastElement)
-        return;
-    if (!positive && !hit.firstElement)
-        return;
-
     const Addr block_bytes = cfg.l1BlockBytes;
     Addr block = acc.addr & ~static_cast<Addr>(block_bytes - 1);
 
@@ -185,41 +180,44 @@ L0MemSystem::triggerHintPrefetch(const MemAccess &acc, const L0Lookup &hit,
                                : block - dist * block_bytes;
         if (!positive && block < dist * block_bytes)
             return;
-        int residue = static_cast<int>(
-            ((acc.addr - block) / acc.size) % cfg.numClusters);
+        int residue = static_cast<int>(fastMod(
+            fastDiv(acc.addr - block, acc.size), cfg.numClusters));
         prefetchInterleaved(target, acc.size, residue, acc.cluster,
                             now + 1);
-        statSet.add("hint_prefetches");
+        ++hot.hintPrefetches;
         return;
     }
 
     // Linear: the adjacent subblock, possibly in the adjacent block.
-    Addr base = (acc.addr / cfg.l0SubblockBytes) * cfg.l0SubblockBytes;
+    Addr base = fastDiv(acc.addr, cfg.l0SubblockBytes)
+                * cfg.l0SubblockBytes;
     Addr span = dist * cfg.l0SubblockBytes;
     Addr target = positive ? base + span : base - span;
     if (!positive && base < span)
         return;
     Addr tblock = target & ~static_cast<Addr>(block_bytes - 1);
-    int sub = static_cast<int>((target - tblock) / cfg.l0SubblockBytes);
+    int sub =
+        static_cast<int>(fastDiv(target - tblock, cfg.l0SubblockBytes));
     prefetchLinear(tblock, sub, acc.cluster, now + 1);
-    statSet.add("hint_prefetches");
+    ++hot.hintPrefetches;
 }
 
 MemAccessResult
 L0MemSystem::access(const MemAccess &acc, Cycle now,
-                    const std::uint8_t *store_data, std::uint8_t *load_out)
+                    const std::uint8_t *store_data, std::uint8_t *load_out,
+                    AccessScratch &scratch)
 {
     MemAccessResult res;
-    commitFills(now);
+    commitFills(now, scratch);
 
     if (acc.isPrefetch) {
         // Explicit software prefetch: linear mapping only (step 5 —
         // there is no benefit from interleaving a prefetch).
         Addr block = acc.addr & ~static_cast<Addr>(cfg.l1BlockBytes - 1);
         int sub = static_cast<int>(
-            (acc.addr - block) / cfg.l0SubblockBytes);
+            fastDiv(acc.addr - block, cfg.l0SubblockBytes));
         prefetchLinear(block, sub, acc.cluster, now);
-        statSet.add("explicit_prefetches");
+        ++hot.explicitPrefetches;
         res.ready = now + 1;
         return res;
     }
@@ -239,18 +237,18 @@ L0MemSystem::access(const MemAccess &acc, Cycle now,
                         && (it->interleaved
                             || it->firstCluster == acc.cluster)) {
                     it = pending.erase(it);
-                    statSet.add("psr_fill_cancels");
+                    ++hot.psrFillCancels;
                 } else {
                     ++it;
                 }
             }
-            statSet.add("psr_replica_stores");
+            ++hot.psrReplicaStores;
             res.ready = now + 1;
             return res;
         }
         Cycle grant = buses[acc.cluster].reserve(now);
         bool l1hit = l1.access(acc.addr, /*allocate=*/false);
-        statSet.add(l1hit ? "l1_store_hits" : "l1_store_misses");
+        ++(l1hit ? hot.l1StoreHits : hot.l1StoreMisses);
         back.write(acc.addr, store_data, acc.size);
         if (acc.access == ir::AccessHint::ParAccess)
             l0s[acc.cluster].store(acc.addr, acc.size, store_data);
@@ -264,7 +262,7 @@ L0MemSystem::access(const MemAccess &acc, Cycle now,
             while (it != pending.end()) {
                 if (it->blockAddr == block) {
                     it = pending.erase(it);
-                    statSet.add("psr_fill_cancels");
+                    ++hot.psrFillCancels;
                 } else {
                     ++it;
                 }
@@ -309,7 +307,7 @@ L0MemSystem::access(const MemAccess &acc, Cycle now,
     // is the prefetched-too-late stall of Section 5.2.
     if (const PendingFill *f = coveringFill(acc)) {
         res.ready = std::max(f->ready, now + cfg.l0Latency);
-        statSet.add("l0_pending_waits");
+        ++hot.pendingWaits;
         if (load_out)
             back.read(acc.addr, load_out, acc.size);
         return res;
@@ -334,13 +332,29 @@ L0MemSystem::endLoop(Cycle now)
     pending.clear();
 }
 
+void
+L0MemSystem::syncStats() const
+{
+    statSet.setNonzero("l1_hits", hot.l1Hits);
+    statSet.setNonzero("l1_misses", hot.l1Misses);
+    statSet.setNonzero("l1_store_hits", hot.l1StoreHits);
+    statSet.setNonzero("l1_store_misses", hot.l1StoreMisses);
+    statSet.setNonzero("l0_pending_waits", hot.pendingWaits);
+    statSet.setNonzero("psr_fill_cancels", hot.psrFillCancels);
+    statSet.setNonzero("psr_replica_stores", hot.psrReplicaStores);
+    statSet.setNonzero("explicit_prefetches", hot.explicitPrefetches);
+    statSet.setNonzero("hint_prefetches", hot.hintPrefetches);
+    statSet.setNonzero("prefetch_fills_linear", hot.prefetchFillsLinear);
+    statSet.setNonzero("prefetch_fills_interleaved", hot.prefetchFillsInterleaved);
+}
+
 StatSet
 L0MemSystem::l0Stats() const
 {
     StatSet merged;
     for (const auto &b : l0s)
         merged.merge(b.stats());
-    merged.merge(statSet);
+    merged.merge(stats());
     return merged;
 }
 

@@ -41,14 +41,16 @@ namespace l0vliw::mem
  *    one matching local L0 copy (PAR_ACCESS) and the L1/backing store;
  *    PSR replicas only invalidate matching local entries.
  */
-class L0MemSystem : public MemSystem
+class L0MemSystem final : public MemSystem
 {
   public:
     explicit L0MemSystem(const machine::MachineConfig &config);
 
+    using MemSystem::access;
     MemAccessResult access(const MemAccess &acc, Cycle now,
                            const std::uint8_t *store_data,
-                           std::uint8_t *load_out) override;
+                           std::uint8_t *load_out,
+                           AccessScratch &scratch) override;
 
     void endLoop(Cycle now) override;
 
@@ -70,8 +72,19 @@ class L0MemSystem : public MemSystem
         ClusterId firstCluster = 0;
     };
 
-    /** Apply every pending fill whose data has arrived by @p now. */
-    void commitFills(Cycle now);
+    /**
+     * Apply every pending fill whose data has arrived by @p now. The
+     * empty check is inline: this runs at the top of every access and
+     * the pending list is empty most of the time.
+     */
+    void
+    commitFills(Cycle now, AccessScratch &scratch)
+    {
+        if (!pending.empty())
+            commitFillsSlow(now, scratch);
+    }
+
+    void commitFillsSlow(Cycle now, AccessScratch &scratch);
 
     /** True if an in-flight fill will cover [addr, addr+size). */
     const PendingFill *coveringFill(const MemAccess &acc) const;
@@ -86,9 +99,24 @@ class L0MemSystem : public MemSystem
      */
     Cycle startFill(const MemAccess &acc, Cycle grant);
 
-    /** Hint-triggered prefetch of the next/previous subblock. */
-    void triggerHintPrefetch(const MemAccess &acc, const L0Lookup &hit,
-                             Cycle now);
+    /**
+     * Hint-triggered prefetch of the next/previous subblock. The
+     * trigger test is inline: it runs on every L0 hit and almost
+     * always declines (no hint, or not the boundary element).
+     */
+    void
+    triggerHintPrefetch(const MemAccess &acc, const L0Lookup &hit,
+                        Cycle now)
+    {
+        if (acc.prefetch == ir::PrefetchHint::NoPrefetch)
+            return;
+        bool positive = acc.prefetch == ir::PrefetchHint::Positive;
+        if (positive ? hit.lastElement : hit.firstElement)
+            hintPrefetchSlow(acc, positive, now);
+    }
+
+    /** The fetch half of triggerHintPrefetch (boundary hit). */
+    void hintPrefetchSlow(const MemAccess &acc, bool positive, Cycle now);
 
     /** Queue a linear subblock prefetch if not present or in flight. */
     void prefetchLinear(Addr block_addr, int sub_index, ClusterId cluster,
@@ -98,7 +126,26 @@ class L0MemSystem : public MemSystem
     void prefetchInterleaved(Addr block_addr, int factor, int first_residue,
                              ClusterId first_cluster, Cycle now);
 
+    void syncStats() const override;
+
+    /** Per-access counters as plain integers (see L0Buffer). */
+    struct HotCounters
+    {
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l1StoreHits = 0;
+        std::uint64_t l1StoreMisses = 0;
+        std::uint64_t pendingWaits = 0;
+        std::uint64_t psrFillCancels = 0;
+        std::uint64_t psrReplicaStores = 0;
+        std::uint64_t explicitPrefetches = 0;
+        std::uint64_t hintPrefetches = 0;
+        std::uint64_t prefetchFillsLinear = 0;
+        std::uint64_t prefetchFillsInterleaved = 0;
+    };
+
     TagCache l1;
+    HotCounters hot;
     std::vector<Bus> buses;
     std::vector<L0Buffer> l0s;
     std::vector<PendingFill> pending;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -49,6 +50,18 @@ struct MemAccessResult
     bool local = true;      ///< served without crossing clusters
 };
 
+/**
+ * Caller-provided reusable scratch for the access path. A hot caller
+ * (the kernel-plan executor) owns one per plan so per-access temporary
+ * buffers — block staging for L0 fills today — are allocated once and
+ * reused across every invocation instead of per access. Callers that
+ * do not care use the system's own fallback scratch.
+ */
+struct AccessScratch
+{
+    std::vector<std::uint8_t> blockBuf; ///< one L1 block of staging
+};
+
 /** Abstract memory hierarchy under the clustered VLIW core. */
 class MemSystem
 {
@@ -68,10 +81,20 @@ class MemSystem
      * @param store_data bytes to write (stores; size acc.size)
      * @param load_out buffer receiving observed bytes (loads; may be
      *        null when the caller only needs timing)
+     * @param scratch reusable temporary storage owned by the caller
      */
     virtual MemAccessResult access(const MemAccess &acc, Cycle now,
                                    const std::uint8_t *store_data,
-                                   std::uint8_t *load_out) = 0;
+                                   std::uint8_t *load_out,
+                                   AccessScratch &scratch) = 0;
+
+    /** access() against the system's own fallback scratch. */
+    MemAccessResult
+    access(const MemAccess &acc, Cycle now, const std::uint8_t *store_data,
+           std::uint8_t *load_out)
+    {
+        return access(acc, now, store_data, load_out, ownScratch);
+    }
 
     /**
      * Loop boundary: the inter-loop coherence flush (invalidate_buffer
@@ -83,8 +106,8 @@ class MemSystem
     /** Backing store (for initialisation and the oracle). */
     Backing &backing() { return back; }
 
-    StatSet &stats() { return statSet; }
-    const StatSet &stats() const { return statSet; }
+    StatSet &stats() { syncStats(); return statSet; }
+    const StatSet &stats() const { syncStats(); return statSet; }
 
     const machine::MachineConfig &config() const { return cfg; }
 
@@ -93,9 +116,18 @@ class MemSystem
     create(const machine::MachineConfig &config);
 
   protected:
+    /**
+     * Publish any plain-integer hot-path counters into statSet. Called
+     * whenever stats() is read; systems with per-access counters
+     * override it so the access path never touches the string-keyed
+     * map. Counters absent until nonzero, exactly as with add().
+     */
+    virtual void syncStats() const {}
+
     machine::MachineConfig cfg;
     Backing back;
-    StatSet statSet;
+    mutable StatSet statSet;
+    AccessScratch ownScratch;
 };
 
 } // namespace l0vliw::mem

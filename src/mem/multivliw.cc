@@ -21,8 +21,9 @@ MultiVliwMemSystem::MultiVliwMemSystem(const machine::MachineConfig &config)
 MemAccessResult
 MultiVliwMemSystem::access(const MemAccess &acc, Cycle now,
                            const std::uint8_t *store_data,
-                           std::uint8_t *load_out)
+                           std::uint8_t *load_out, AccessScratch &scratch)
 {
+    (void)scratch; // no per-access staging on this architecture
     MemAccessResult res;
     TagCache &local = slices[acc.cluster];
 
@@ -35,7 +36,7 @@ MultiVliwMemSystem::access(const MemAccess &acc, Cycle now,
             if (c == acc.cluster)
                 continue;
             if (slices[c].invalidate(acc.addr))
-                statSet.add("mv_store_invalidations");
+                ++hot.storeInvalidations;
         }
         back.write(acc.addr, store_data, acc.size);
         res.ready = now + 1;
@@ -44,7 +45,7 @@ MultiVliwMemSystem::access(const MemAccess &acc, Cycle now,
 
     // Loads and prefetches.
     if (local.access(acc.addr, /*allocate=*/false)) {
-        statSet.add("mv_local_hits");
+        ++hot.localHits;
         res.ready = now + cfg.mvLocalHitLatency;
         res.local = true;
         if (acc.isLoad && load_out)
@@ -60,11 +61,11 @@ MultiVliwMemSystem::access(const MemAccess &acc, Cycle now,
 
     local.access(acc.addr, /*allocate=*/true);
     if (remote) {
-        statSet.add("mv_remote_hits");
+        ++hot.remoteHits;
         res.ready = now + cfg.mvLocalHitLatency + cfg.mvRemoteTransfer;
         res.local = false;
     } else {
-        statSet.add("mv_l2_fills");
+        ++hot.l2Fills;
         res.ready = now + cfg.mvLocalHitLatency + cfg.l2Latency;
         res.local = false;
         res.l1Hit = false;
@@ -78,6 +79,15 @@ MultiVliwMemSystem::access(const MemAccess &acc, Cycle now,
     if (acc.isLoad && load_out)
         back.read(acc.addr, load_out, acc.size);
     return res;
+}
+
+void
+MultiVliwMemSystem::syncStats() const
+{
+    statSet.setNonzero("mv_store_invalidations", hot.storeInvalidations);
+    statSet.setNonzero("mv_local_hits", hot.localHits);
+    statSet.setNonzero("mv_remote_hits", hot.remoteHits);
+    statSet.setNonzero("mv_l2_fills", hot.l2Fills);
 }
 
 } // namespace l0vliw::mem

@@ -26,17 +26,31 @@ namespace l0vliw::mem
 {
 
 /** Snoop-coherent distributed L1 slices. */
-class MultiVliwMemSystem : public MemSystem
+class MultiVliwMemSystem final : public MemSystem
 {
   public:
     explicit MultiVliwMemSystem(const machine::MachineConfig &config);
 
+    using MemSystem::access;
     MemAccessResult access(const MemAccess &acc, Cycle now,
                            const std::uint8_t *store_data,
-                           std::uint8_t *load_out) override;
+                           std::uint8_t *load_out,
+                           AccessScratch &scratch) override;
 
   private:
+    void syncStats() const override;
+
+    /** Per-access counters as plain integers (see L0Buffer). */
+    struct HotCounters
+    {
+        std::uint64_t storeInvalidations = 0;
+        std::uint64_t localHits = 0;
+        std::uint64_t remoteHits = 0;
+        std::uint64_t l2Fills = 0;
+    };
+
     std::vector<TagCache> slices; // one per cluster
+    HotCounters hot;
 };
 
 } // namespace l0vliw::mem

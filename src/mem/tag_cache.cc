@@ -1,5 +1,6 @@
 #include "mem/tag_cache.hh"
 
+#include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace l0vliw::mem
@@ -25,7 +26,7 @@ TagCache::fullyAssociative(int entries, int block_bytes)
 int
 TagCache::setIndex(Addr addr) const
 {
-    return static_cast<int>((addr / blockBytes) % sets);
+    return static_cast<int>(fastMod(fastDiv(addr, blockBytes), sets));
 }
 
 bool

@@ -15,15 +15,16 @@ UnifiedMemSystem::UnifiedMemSystem(const machine::MachineConfig &config)
 MemAccessResult
 UnifiedMemSystem::access(const MemAccess &acc, Cycle now,
                          const std::uint8_t *store_data,
-                         std::uint8_t *load_out)
+                         std::uint8_t *load_out, AccessScratch &scratch)
 {
+    (void)scratch; // no per-access staging on this architecture
     MemAccessResult res;
     Bus &bus = buses[acc.cluster];
 
     if (acc.isLoad || acc.isPrefetch) {
         Cycle grant = bus.reserve(now);
         bool hit = l1.access(acc.addr, /*allocate=*/true);
-        statSet.add(hit ? "l1_hits" : "l1_misses");
+        ++(hit ? hot.l1Hits : hot.l1Misses);
         Cycle lat = cfg.l1Latency + (hit ? 0 : cfg.l2Latency);
         res.ready = grant + lat;
         res.l1Hit = hit;
@@ -37,11 +38,20 @@ UnifiedMemSystem::access(const MemAccess &acc, Cycle now,
     L0_ASSERT(store_data != nullptr, "store without data");
     Cycle grant = bus.reserve(now);
     bool hit = l1.access(acc.addr, /*allocate=*/false);
-    statSet.add(hit ? "l1_store_hits" : "l1_store_misses");
+    ++(hit ? hot.l1StoreHits : hot.l1StoreMisses);
     back.write(acc.addr, store_data, acc.size);
     res.ready = grant + 1;
     res.l1Hit = hit;
     return res;
+}
+
+void
+UnifiedMemSystem::syncStats() const
+{
+    statSet.setNonzero("l1_hits", hot.l1Hits);
+    statSet.setNonzero("l1_misses", hot.l1Misses);
+    statSet.setNonzero("l1_store_hits", hot.l1StoreHits);
+    statSet.setNonzero("l1_store_misses", hot.l1StoreMisses);
 }
 
 } // namespace l0vliw::mem

@@ -21,18 +21,32 @@ namespace l0vliw::mem
  * wire delay. L1 is write-through to the backing store, so data
  * correctness never depends on L1 content (tags carry the timing).
  */
-class UnifiedMemSystem : public MemSystem
+class UnifiedMemSystem final : public MemSystem
 {
   public:
     explicit UnifiedMemSystem(const machine::MachineConfig &config);
 
+    using MemSystem::access;
     MemAccessResult access(const MemAccess &acc, Cycle now,
                            const std::uint8_t *store_data,
-                           std::uint8_t *load_out) override;
+                           std::uint8_t *load_out,
+                           AccessScratch &scratch) override;
 
   private:
+    void syncStats() const override;
+
+    /** Per-access counters as plain integers (see L0Buffer). */
+    struct HotCounters
+    {
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l1StoreHits = 0;
+        std::uint64_t l1StoreMisses = 0;
+    };
+
     TagCache l1;
     std::vector<Bus> buses; // one per cluster
+    HotCounters hot;
 };
 
 } // namespace l0vliw::mem

@@ -1,5 +1,8 @@
 #include "sim/address.hh"
 
+#include <cstring>
+
+#include "common/bytes.hh"
 #include "common/logging.hh"
 
 namespace l0vliw::sim
@@ -45,24 +48,6 @@ std::uint64_t
 storeValue(OpId id, std::uint64_t iter)
 {
     return mix(0xabcdULL + static_cast<std::uint64_t>(id), iter);
-}
-
-std::uint64_t
-bytesToValue(const std::uint8_t *bytes, int size)
-{
-    std::uint64_t v = 0;
-    for (int i = size - 1; i >= 0; --i)
-        v = (v << 8) | bytes[i];
-    return v;
-}
-
-void
-valueToBytes(std::uint64_t value, std::uint8_t *bytes, int size)
-{
-    for (int i = 0; i < size; ++i) {
-        bytes[i] = static_cast<std::uint8_t>(value & 0xff);
-        value >>= 8;
-    }
 }
 
 } // namespace l0vliw::sim

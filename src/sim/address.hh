@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/bytes.hh"
 #include "common/types.hh"
 #include "ir/loop.hh"
 
@@ -31,10 +32,35 @@ Addr addressOf(const ir::Loop &loop, OpId id, std::uint64_t iter);
 std::uint64_t storeValue(OpId id, std::uint64_t iter);
 
 /** Read @p size little-endian bytes into a value. */
-std::uint64_t bytesToValue(const std::uint8_t *bytes, int size);
+inline std::uint64_t
+bytesToValue(const std::uint8_t *bytes, int size)
+{
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::uint64_t v = 0;
+    copySmall(reinterpret_cast<std::uint8_t *>(&v), bytes, size);
+    return v;
+#else
+    std::uint64_t v = 0;
+    for (int i = size - 1; i >= 0; --i)
+        v = (v << 8) | bytes[i];
+    return v;
+#endif
+}
 
 /** Write @p size little-endian bytes of @p value. */
-void valueToBytes(std::uint64_t value, std::uint8_t *bytes, int size);
+inline void
+valueToBytes(std::uint64_t value, std::uint8_t *bytes, int size)
+{
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    copySmall(bytes, reinterpret_cast<const std::uint8_t *>(&value),
+              size);
+#else
+    for (int i = 0; i < size; ++i) {
+        bytes[i] = static_cast<std::uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+#endif
+}
 
 } // namespace l0vliw::sim
 

@@ -6,9 +6,19 @@
 
 #include "common/logging.hh"
 #include "sim/address.hh"
+#include "sim/kernel_plan.hh"
 
 namespace l0vliw::sim
 {
+
+InvocationResult
+simulateInvocation(const sched::Schedule &schedule, mem::MemSystem &mem,
+                   std::uint64_t trips, Cycle start_cycle,
+                   const SimOptions &opts)
+{
+    KernelPlan plan(schedule);
+    return plan.run(mem, trips, start_cycle, opts);
+}
 
 namespace
 {
@@ -100,9 +110,9 @@ struct LoadUse
 } // namespace
 
 InvocationResult
-simulateInvocation(const sched::Schedule &schedule, mem::MemSystem &mem,
-                   std::uint64_t trips, Cycle start_cycle,
-                   const SimOptions &opts)
+simulateInvocationReference(const sched::Schedule &schedule,
+                            mem::MemSystem &mem, std::uint64_t trips,
+                            Cycle start_cycle, const SimOptions &opts)
 {
     InvocationResult out;
     if (trips == 0)

@@ -59,11 +59,28 @@ struct SimOptions
  * successive loops share the clock so bus/fill state carries the right
  * distances). Calls mem.endLoop() at the end — the inter-loop
  * coherence flush of Section 4.1.
+ *
+ * Convenience wrapper: compiles a sim::KernelPlan and runs it once.
+ * Callers simulating many invocations of the same schedule should
+ * build the KernelPlan themselves and reuse it — the plan hoists the
+ * row buckets, dependence lists, address generators and replay
+ * buffers out of the per-invocation path.
  */
 InvocationResult simulateInvocation(const sched::Schedule &schedule,
                                     mem::MemSystem &mem,
                                     std::uint64_t trips, Cycle start_cycle,
                                     const SimOptions &opts);
+
+/**
+ * The original cycle-walking executor, kept verbatim as the oracle:
+ * tests/test_plan.cc asserts the KernelPlan executor matches it
+ * bit-for-bit, and bench/micro_perf.cpp uses it as the perf baseline.
+ * Semantics are identical to simulateInvocation().
+ */
+InvocationResult
+simulateInvocationReference(const sched::Schedule &schedule,
+                            mem::MemSystem &mem, std::uint64_t trips,
+                            Cycle start_cycle, const SimOptions &opts);
 
 } // namespace l0vliw::sim
 

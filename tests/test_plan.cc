@@ -1,0 +1,342 @@
+/**
+ * @file
+ * KernelPlan equivalence suite: the compiled-plan executor must
+ * reproduce the reference cycle-walking simulator bit-for-bit —
+ * computeCycles, stallCycles, memAccesses, coherenceViolations, and
+ * every memory-system statistic — across every ArchSpec factory, with
+ * plans reused across invocations, and over randomized loops and trip
+ * counts (including degenerate trips where ramp-up and drain overlap).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "driver/runner.hh"
+#include "ir/loop.hh"
+#include "mem/l0_system.hh"
+#include "mem/mem_system.hh"
+#include "sched/scheduler.hh"
+#include "sim/kernel_plan.hh"
+#include "sim/kernel_sim.hh"
+#include "workloads/kernels.hh"
+
+using namespace l0vliw;
+using l0vliw::driver::ArchSpec;
+
+namespace
+{
+
+/** Every ArchSpec factory, PSR mode included. */
+std::vector<ArchSpec>
+allArchSpecs()
+{
+    return {
+        ArchSpec::unified(),
+        ArchSpec::l0(8),
+        ArchSpec::l0(2),
+        ArchSpec::l0(-1),
+        ArchSpec::l0(8, sched::CoherenceMode::Psr),
+        ArchSpec::l0AllCandidates(4),
+        ArchSpec::l0PrefetchDistance(8, 2),
+        ArchSpec::multiVliw(),
+        ArchSpec::interleaved1(),
+        ArchSpec::interleaved2(),
+    };
+}
+
+/** Random loop: strided/irregular streams, dataflow, RMW chains. */
+ir::Loop
+randomLoop(std::uint64_t seed)
+{
+    Rng rng(seed);
+    ir::Loop l("plan_rand" + std::to_string(seed));
+
+    const int num_loads = static_cast<int>(rng.range(1, 4));
+    const int num_rmw = static_cast<int>(rng.range(0, 2));
+    const int num_alu = static_cast<int>(rng.range(1, 6));
+
+    std::vector<OpId> values;
+
+    auto add_array = [&] {
+        static const std::uint64_t sizes[] = {1024, 4096, 16384};
+        ir::ArrayInfo info;
+        info.sizeBytes = sizes[rng.below(3)];
+        info.name = "arr";
+        info.base = 0x100000ULL
+                    + 0x20000ULL * static_cast<Addr>(l.arrays().size())
+                    + 544 * static_cast<Addr>(l.arrays().size() % 7);
+        return l.addArray(info);
+    };
+
+    for (int i = 0; i < num_loads; ++i) {
+        ir::Operation op;
+        op.kind = ir::OpKind::Load;
+        op.mem.array = add_array();
+        const int elems[] = {1, 2, 4, 8};
+        op.mem.elemSize = elems[rng.below(4)];
+        op.mem.strided = rng.chance(0.8);
+        if (op.mem.strided) {
+            const long strides[] = {0, 1, -1, 2, 1, 8, 16};
+            op.mem.strideElems = strides[rng.below(7)];
+        }
+        op.mem.offsetElems = rng.range(-2, 3);
+        op.tag = "ld" + std::to_string(i);
+        values.push_back(l.addOp(op));
+    }
+
+    for (int i = 0; i < num_rmw; ++i) {
+        int arr = add_array();
+        ir::Operation ld;
+        ld.kind = ir::OpKind::Load;
+        ld.mem.array = arr;
+        ld.mem.elemSize = 4;
+        ld.mem.strideElems = 1;
+        ld.mem.offsetElems = -static_cast<long>(rng.range(1, 2));
+        ld.tag = "rmw_ld" + std::to_string(i);
+        OpId lid = l.addOp(ld);
+        values.push_back(lid);
+
+        ir::Operation al;
+        al.kind = ir::OpKind::IntAlu;
+        OpId aid = l.addOp(al);
+        l.addRegEdge(lid, aid);
+
+        ir::Operation st;
+        st.kind = ir::OpKind::Store;
+        st.mem.array = arr;
+        st.mem.elemSize = 4;
+        st.mem.strideElems = 1;
+        st.mem.offsetElems = 0;
+        st.tag = "rmw_st" + std::to_string(i);
+        OpId sid = l.addOp(st);
+        l.addRegEdge(aid, sid);
+        int dist = static_cast<int>(-ld.mem.offsetElems);
+        l.addMemEdge(sid, lid, dist);
+        l.addMemEdge(lid, sid, 0);
+    }
+
+    for (int i = 0; i < num_alu; ++i) {
+        ir::Operation op;
+        op.kind = rng.chance(0.25) ? ir::OpKind::FpAlu
+                                   : ir::OpKind::IntAlu;
+        OpId id = l.addOp(op);
+        l.addRegEdge(values[rng.below(values.size())], id);
+        if (rng.chance(0.5))
+            l.addRegEdge(values[rng.below(values.size())], id);
+        values.push_back(id);
+    }
+
+    {
+        ir::Operation st;
+        st.kind = ir::OpKind::Store;
+        st.mem.array = add_array();
+        st.mem.elemSize = 4;
+        st.mem.strideElems = 1;
+        st.tag = "out";
+        OpId sid = l.addOp(st);
+        l.addRegEdge(values.back(), sid);
+    }
+
+    l.validate();
+    return l;
+}
+
+/** Merged stats of @p mem (system counters plus per-L0 counters). */
+std::map<std::string, std::uint64_t>
+allStats(mem::MemSystem &mem)
+{
+    if (auto *l0sys = dynamic_cast<mem::L0MemSystem *>(&mem))
+        return l0sys->l0Stats().all();
+    return mem.stats().all();
+}
+
+/**
+ * Run @p invocations of @p schedule with a shared clock through both
+ * executors (one reused plan vs the reference) on fresh memory systems
+ * and assert every result field and every stat is identical.
+ */
+void
+expectEquivalent(const sched::Schedule &schedule, const ArchSpec &arch,
+                 std::uint64_t trips, int invocations,
+                 bool check_coherence = true)
+{
+    SCOPED_TRACE("arch=" + arch.label + " trips="
+                 + std::to_string(trips));
+
+    sim::SimOptions opts;
+    opts.checkCoherence = check_coherence;
+
+    auto ref_mem = mem::MemSystem::create(arch.config);
+    auto plan_mem = mem::MemSystem::create(arch.config);
+    sim::KernelPlan plan(schedule);
+
+    Cycle ref_clock = 0, plan_clock = 0;
+    for (int inv = 0; inv < invocations; ++inv) {
+        sim::InvocationResult r = sim::simulateInvocationReference(
+            schedule, *ref_mem, trips, ref_clock, opts);
+        sim::InvocationResult p =
+            plan.run(*plan_mem, trips, plan_clock, opts);
+        ref_clock += r.totalCycles();
+        plan_clock += p.totalCycles();
+
+        EXPECT_EQ(p.computeCycles, r.computeCycles) << "inv " << inv;
+        EXPECT_EQ(p.stallCycles, r.stallCycles) << "inv " << inv;
+        EXPECT_EQ(p.memAccesses, r.memAccesses) << "inv " << inv;
+        EXPECT_EQ(p.coherenceViolations, r.coherenceViolations)
+            << "inv " << inv;
+    }
+    EXPECT_EQ(allStats(*plan_mem), allStats(*ref_mem));
+}
+
+sched::Schedule
+scheduleFor(const ir::Loop &body, const ArchSpec &arch)
+{
+    return sched::ModuloScheduler(arch.config, arch.sched)
+        .schedule(body);
+}
+
+/** A representative loop body: a MediaBench-style stream kernel. */
+ir::Loop
+streamBody(int unroll)
+{
+    workloads::AddressSpace as;
+    workloads::StreamParams p;
+    p.elemSize = 2;
+    p.loadStreams = 3;
+    p.storeStreams = 1;
+    p.intOps = 4;
+    ir::Loop l = workloads::streamMap(as, "plan_stream", p);
+    return unroll > 1 ? ir::unrollLoop(l, unroll) : l;
+}
+
+} // namespace
+
+TEST(KernelPlanEquivalence, EveryArchSpecFactory)
+{
+    ir::Loop body = streamBody(4);
+    for (const ArchSpec &arch : allArchSpecs()) {
+        sched::Schedule s = scheduleFor(body, arch);
+        expectEquivalent(s, arch, 256, 3);
+    }
+}
+
+TEST(KernelPlanEquivalence, CoherenceCheckOff)
+{
+    ir::Loop body = streamBody(4);
+    for (const ArchSpec &arch : allArchSpecs()) {
+        sched::Schedule s = scheduleFor(body, arch);
+        expectEquivalent(s, arch, 256, 3, /*check_coherence=*/false);
+    }
+}
+
+TEST(KernelPlanEquivalence, DegenerateTripCounts)
+{
+    // trips below / at / just above the stage count exercise the
+    // overlapped ramp-up and drain phases with no steady state.
+    ir::Loop body = streamBody(2);
+    ArchSpec arch = ArchSpec::l0(8);
+    sched::Schedule s = scheduleFor(body, arch);
+    for (std::uint64_t trips : {1, 2, 3, 5, 17}) {
+        expectEquivalent(s, arch, trips, 2);
+    }
+}
+
+TEST(KernelPlanEquivalence, ZeroTripsIsEmpty)
+{
+    ir::Loop body = streamBody(1);
+    ArchSpec arch = ArchSpec::l0(8);
+    sched::Schedule s = scheduleFor(body, arch);
+    auto mem = mem::MemSystem::create(arch.config);
+    sim::KernelPlan plan(s);
+    sim::SimOptions opts;
+    auto r = plan.run(*mem, 0, 0, opts);
+    EXPECT_EQ(r.totalCycles(), 0u);
+    EXPECT_EQ(r.memAccesses, 0u);
+}
+
+TEST(KernelPlanEquivalence, MisalignedWideAccessesStraddleChunks)
+{
+    // 8-byte elements on a base 61 bytes into a page: golden-replay
+    // reads and writes straddle the overlay's chunk boundaries.
+    ir::Loop l("straddle");
+    int arr = l.addArray({"arr", 0x10000 + 61, 4096});
+    ir::Operation ld;
+    ld.kind = ir::OpKind::Load;
+    ld.mem.array = arr;
+    ld.mem.elemSize = 8;
+    ld.mem.strideElems = 1;
+    ld.mem.offsetElems = -1;
+    OpId lid = l.addOp(ld);
+    ir::Operation al;
+    al.kind = ir::OpKind::IntAlu;
+    OpId aid = l.addOp(al);
+    l.addRegEdge(lid, aid);
+    ir::Operation st;
+    st.kind = ir::OpKind::Store;
+    st.mem.array = arr;
+    st.mem.elemSize = 8;
+    st.mem.strideElems = 1;
+    st.mem.offsetElems = 0;
+    OpId sid = l.addOp(st);
+    l.addRegEdge(aid, sid);
+    l.addMemEdge(sid, lid, 1);
+    l.addMemEdge(lid, sid, 0);
+    l.validate();
+
+    for (const ArchSpec &arch : {ArchSpec::unified(), ArchSpec::l0(8)}) {
+        sched::Schedule s = scheduleFor(l, arch);
+        expectEquivalent(s, arch, 300, 3);
+    }
+}
+
+TEST(KernelPlanEquivalence, PlanReuseMatchesFreshPlans)
+{
+    // The same plan object run back-to-back from identical machine
+    // state must not leak scratch state between invocations.
+    ir::Loop body = streamBody(4);
+    ArchSpec arch = ArchSpec::l0(8);
+    sched::Schedule s = scheduleFor(body, arch);
+    sim::SimOptions opts;
+
+    sim::KernelPlan reused(s);
+    auto m1 = mem::MemSystem::create(arch.config);
+    auto first = reused.run(*m1, 200, 0, opts);
+
+    auto m2 = mem::MemSystem::create(arch.config);
+    auto again = reused.run(*m2, 200, 0, opts);
+    EXPECT_EQ(again.totalCycles(), first.totalCycles());
+    EXPECT_EQ(again.stallCycles, first.stallCycles);
+    EXPECT_EQ(again.memAccesses, first.memAccesses);
+    EXPECT_EQ(allStats(*m2), allStats(*m1));
+}
+
+class RandomLoopEquivalence
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomLoopEquivalence, PlanMatchesReferenceBitForBit)
+{
+    const std::uint64_t seed = GetParam();
+    ir::Loop loop = randomLoop(seed);
+    ir::Loop body = seed % 2 == 0 ? ir::unrollLoop(loop, 4) : loop;
+
+    Rng trips_rng(seed * 7919 + 1);
+    const std::uint64_t trips =
+        static_cast<std::uint64_t>(trips_rng.range(1, 300));
+
+    const ArchSpec archs[] = {
+        ArchSpec::unified(),
+        ArchSpec::l0(8),
+        ArchSpec::l0(2),
+        ArchSpec::interleaved2(),
+    };
+    for (const ArchSpec &arch : archs) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        sched::Schedule s = scheduleFor(body, arch);
+        expectEquivalent(s, arch, trips, 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLoopEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 31));
