@@ -8,61 +8,36 @@
  * load+store memory-dependent sets.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "common/table.hh"
-#include "driver/runner.hh"
-#include "workloads/workload.hh"
+#include "driver/cli.hh"
+#include "driver/suite.hh"
 
 using namespace l0vliw;
 
 int
-main()
+main(int argc, char **argv)
 {
-    driver::ExperimentRunner runner;
-    std::vector<driver::ArchSpec> archs = {
-        driver::ArchSpec::l0(8, sched::CoherenceMode::Auto),
-        driver::ArchSpec::l0(8, sched::CoherenceMode::ForceNL0),
-        driver::ArchSpec::l0(8, sched::CoherenceMode::Psr),
-    };
-    archs[0].label = "1C/NL0 (paper)";
-    archs[1].label = "NL0 only";
-    archs[2].label = "PSR";
+    driver::CliOptions cli = driver::parseCli(argc, argv);
 
+    driver::ExperimentSpec spec;
+    spec.title = "Coherence-policy ablation (8-entry L0 buffers, "
+                 "normalised to unified no-L0)\n\n";
+    spec.footer = "\nEvery policy must be coherent (viol = 0); the "
+                  "paper expects 1C/NL0 <= NL0-only, with PSR's "
+                  "replicated stores costing memory slots and bus "
+                  "traffic.\n";
     // The benchmarks whose models carry load+store sets.
-    std::vector<std::string> benches = {
+    spec.benchmarks = {
         "g721dec", "gsmdec", "gsmenc", "jpegenc", "mpeg2dec",
         "pegwitdec", "pgpdec", "pgpenc", "rasta",
     };
+    spec.archs = {"l0-8", "l0-8-nl0", "l0-8-psr"};
+    spec.columns = {
+        driver::normalizedColumn("1C/NL0", 0),
+        driver::normalizedColumn("NL0-only", 1),
+        driver::normalizedColumn("PSR", 2),
+        driver::violationsColumn("viol"),
+    };
+    spec.meanRow = true;
 
-    std::printf("Coherence-policy ablation (8-entry L0 buffers, "
-                "normalised to unified no-L0)\n\n");
-    TextTable t;
-    t.setHeader({"benchmark", "1C/NL0", "NL0-only", "PSR", "viol"});
-    std::vector<std::vector<double>> norm(archs.size());
-    for (const auto &name : benches) {
-        workloads::Benchmark bench = workloads::makeBenchmark(name);
-        std::vector<std::string> row{name};
-        std::uint64_t viol = 0;
-        for (std::size_t a = 0; a < archs.size(); ++a) {
-            driver::BenchmarkRun r = runner.run(bench, archs[a]);
-            norm[a].push_back(runner.normalized(bench, r));
-            row.push_back(TextTable::fmt(norm[a].back()));
-            viol += r.coherenceViolations;
-        }
-        row.push_back(std::to_string(viol));
-        t.addRow(row);
-    }
-    std::vector<std::string> mean{"AMEAN"};
-    for (auto &v : norm)
-        mean.push_back(TextTable::fmt(amean(v)));
-    mean.push_back("0");
-    t.addRow(mean);
-    t.print();
-
-    std::printf("\nEvery policy must be coherent (viol = 0); the paper "
-                "expects 1C/NL0 <= NL0-only, with PSR's replicated "
-                "stores costing memory slots and bus traffic.\n");
-    return 0;
+    return driver::runSuiteMain(std::move(spec), cli);
 }

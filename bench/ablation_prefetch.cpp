@@ -6,48 +6,34 @@
  * their execution time (paper: -12% for epicdec, -4% for rasta).
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "common/table.hh"
-#include "driver/runner.hh"
-#include "workloads/workload.hh"
+#include "driver/cli.hh"
+#include "driver/suite.hh"
 
 using namespace l0vliw;
 
 int
-main()
+main(int argc, char **argv)
 {
-    driver::ExperimentRunner runner;
-    std::vector<driver::ArchSpec> archs = {
-        driver::ArchSpec::l0PrefetchDistance(8, 1),
-        driver::ArchSpec::l0PrefetchDistance(8, 2),
-        driver::ArchSpec::l0PrefetchDistance(8, 3),
-    };
+    driver::CliOptions cli = driver::parseCli(argc, argv);
 
-    std::printf("Prefetch-distance ablation (8-entry L0 buffers, "
-                "normalised to unified no-L0)\n\n");
-    TextTable t;
-    t.setHeader({"benchmark", "dist=1", "st", "dist=2", "st", "dist=3",
-                 "st", "d2 vs d1"});
-    for (const auto &name : workloads::benchmarkNames()) {
-        workloads::Benchmark bench = workloads::makeBenchmark(name);
-        std::vector<std::string> row{name};
-        std::vector<double> totals;
-        for (const auto &arch : archs) {
-            driver::BenchmarkRun r = runner.run(bench, arch);
-            totals.push_back(runner.normalized(bench, r));
-            row.push_back(TextTable::fmt(totals.back()));
-            row.push_back(
-                TextTable::fmt(runner.normalizedStall(bench, r)));
-        }
-        double delta = (totals[1] - totals[0]) / totals[0];
-        row.push_back(TextTable::pct(delta, 1));
-        t.addRow(row);
+    driver::ExperimentSpec spec;
+    spec.title = "Prefetch-distance ablation (8-entry L0 buffers, "
+                 "normalised to unified no-L0)\n\n";
+    spec.footer = "\nPaper reference: prefetching two subblocks ahead "
+                  "cuts epicdec by ~12% and rasta by ~4%; it needs "
+                  "more L0 entries, so other benchmarks may regress.\n";
+    spec.archs = {"l0-8-pf1", "l0-8-pf2", "l0-8-pf3"};
+    const char *shorts[] = {"dist=1", "dist=2", "dist=3"};
+    for (int a = 0; a < 3; ++a) {
+        spec.columns.push_back(driver::normalizedColumn(shorts[a], a));
+        spec.columns.push_back(driver::stallColumn("st", a));
     }
-    t.print();
-    std::printf("\nPaper reference: prefetching two subblocks ahead "
-                "cuts epicdec by ~12%% and rasta by ~4%%; it needs more "
-                "L0 entries, so other benchmarks may regress.\n");
-    return 0;
+    spec.columns.push_back(driver::computedColumn(
+        "d2 vs d1", [](const driver::RowView &row) {
+            double d1 = row.cell(0).normalized;
+            double d2 = row.cell(1).normalized;
+            return CellValue::percent((d2 - d1) / d1, 1);
+        }));
+
+    return driver::runSuiteMain(std::move(spec), cli);
 }

@@ -9,64 +9,36 @@
  * (= 1.00). "stall" is the white segment of the paper's stacked bars.
  */
 
-#include <cstdio>
-#include <vector>
+#include <string>
 
-#include "common/table.hh"
-#include "driver/runner.hh"
-#include "workloads/stride_mix.hh"
-#include "workloads/workload.hh"
+#include "driver/cli.hh"
+#include "driver/suite.hh"
 
 using namespace l0vliw;
 
 int
-main()
+main(int argc, char **argv)
 {
-    driver::ExperimentRunner runner;
-    std::vector<driver::ArchSpec> archs = {
-        driver::ArchSpec::l0(2),  driver::ArchSpec::l0(4),
-        driver::ArchSpec::l0(8),  driver::ArchSpec::l0(16),
-        driver::ArchSpec::l0(-1), driver::ArchSpec::l0AllCandidates(4),
-    };
+    driver::CliOptions cli = driver::parseCli(argc, argv);
 
-    std::printf("Figure 5: execution time vs L0 buffer size\n");
-    std::printf("(normalised to unified L1, no L0; total = compute + "
-                "stall)\n\n");
-
-    TextTable t;
-    t.setHeader({"benchmark", "2e", "2e.st", "4e", "4e.st", "8e", "8e.st",
-                 "16e", "16e.st", "unb", "unb.st", "4e-all", "4e-all.st",
-                 "viol"});
-    std::vector<std::vector<double>> norm(archs.size());
-
-    for (const auto &name : workloads::benchmarkNames()) {
-        workloads::Benchmark bench = workloads::makeBenchmark(name);
-        std::vector<std::string> row{name};
-        std::uint64_t violations = 0;
-        for (std::size_t a = 0; a < archs.size(); ++a) {
-            driver::BenchmarkRun r = runner.run(bench, archs[a]);
-            double total = runner.normalized(bench, r);
-            double stall = runner.normalizedStall(bench, r);
-            norm[a].push_back(total);
-            row.push_back(TextTable::fmt(total));
-            row.push_back(TextTable::fmt(stall));
-            violations += r.coherenceViolations;
-        }
-        row.push_back(std::to_string(violations));
-        t.addRow(row);
+    driver::ExperimentSpec spec;
+    spec.title = "Figure 5: execution time vs L0 buffer size\n"
+                 "(normalised to unified L1, no L0; total = compute + "
+                 "stall)\n\n";
+    spec.footer =
+        "\nPaper reference points: 8-entry AMEAN ~0.84 (16% better "
+        "than no-L0), 2-entry ~0.93 (7%), 4-entry all-candidates ~6% "
+        "worse than selective 4-entry, jpegdec > 1.0.\n";
+    spec.archs = {"l0-2", "l0-4",         "l0-8",
+                  "l0-16", "l0-unbounded", "l0-4-allcand"};
+    const char *shorts[] = {"2e", "4e", "8e", "16e", "unb", "4e-all"};
+    for (int a = 0; a < 6; ++a) {
+        spec.columns.push_back(driver::normalizedColumn(shorts[a], a));
+        spec.columns.push_back(
+            driver::stallColumn(std::string(shorts[a]) + ".st", a));
     }
-    std::vector<std::string> mean{"AMEAN"};
-    for (auto &v : norm) {
-        mean.push_back(TextTable::fmt(amean(v)));
-        mean.push_back("");
-    }
-    mean.push_back("0");
-    t.addRow(mean);
-    t.print();
+    spec.columns.push_back(driver::violationsColumn("viol"));
+    spec.meanRow = true;
 
-    std::printf("\nPaper reference points: 8-entry AMEAN ~0.84 (16%% "
-                "better than no-L0), 2-entry ~0.93 (7%%), 4-entry "
-                "all-candidates ~6%% worse than selective 4-entry, "
-                "jpegdec > 1.0.\n");
-    return 0;
+    return driver::runSuiteMain(std::move(spec), cli);
 }

@@ -6,41 +6,34 @@
  * parentheses columns).
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "driver/runner.hh"
-#include "workloads/workload.hh"
+#include "driver/cli.hh"
+#include "driver/suite.hh"
 
 using namespace l0vliw;
 
 int
-main()
+main(int argc, char **argv)
 {
-    driver::ExperimentRunner runner;
-    driver::ArchSpec arch = driver::ArchSpec::l0(8);
+    driver::CliOptions cli = driver::parseCli(argc, argv);
 
-    std::printf("Figure 6: subblock mapping, L0 hit rate and unroll "
-                "factor (8-entry L0 buffers)\n\n");
+    driver::ExperimentSpec spec;
+    spec.title = "Figure 6: subblock mapping, L0 hit rate and unroll "
+                 "factor (8-entry L0 buffers)\n\n";
+    spec.footer = "\nPaper reference: hit rates > 95% except epicdec, "
+                  "mpeg2dec, pegwit*, rasta; interleaved share tracks "
+                  "the unroll factor.\n";
+    spec.archs = {"l0-8"};
+    spec.columns = {
+        driver::fillShareColumn("linear", /*linear=*/true),
+        driver::fillShareColumn("interleaved", /*linear=*/false),
+        driver::hitRateColumn("hit-rate"),
+        driver::unrollColumn("unroll"),
+        driver::computedColumn("unroll(paper)",
+                               [](const driver::RowView &row) {
+                                   return CellValue::fixed(
+                                       row.bench.paper.unroll, 1);
+                               }),
+    };
 
-    TextTable t;
-    t.setHeader({"benchmark", "linear", "interleaved", "hit-rate",
-                 "unroll", "unroll(paper)"});
-    for (const auto &name : workloads::benchmarkNames()) {
-        workloads::Benchmark bench = workloads::makeBenchmark(name);
-        driver::BenchmarkRun r = runner.run(bench, arch);
-        double fills = static_cast<double>(r.fillsLinear)
-                       + static_cast<double>(r.fillsInterleaved);
-        double lin = fills == 0 ? 0 : r.fillsLinear / fills;
-        t.addRow({name, TextTable::pct(lin, 0),
-                  TextTable::pct(fills == 0 ? 0 : 1.0 - lin, 0),
-                  TextTable::pct(r.l0HitRate(), 1),
-                  TextTable::fmt(r.avgUnroll, 1),
-                  TextTable::fmt(bench.paper.unroll, 1)});
-    }
-    t.print();
-    std::printf("\nPaper reference: hit rates > 95%% except epicdec, "
-                "mpeg2dec, pegwit*, rasta; interleaved share tracks the "
-                "unroll factor.\n");
-    return 0;
+    return driver::runSuiteMain(std::move(spec), cli);
 }

@@ -7,57 +7,32 @@
  * baseline.
  */
 
-#include <cstdio>
-#include <vector>
+#include <string>
 
-#include "common/table.hh"
-#include "driver/runner.hh"
-#include "workloads/workload.hh"
+#include "driver/cli.hh"
+#include "driver/suite.hh"
 
 using namespace l0vliw;
 
 int
-main()
+main(int argc, char **argv)
 {
-    driver::ExperimentRunner runner;
-    std::vector<driver::ArchSpec> archs = {
-        driver::ArchSpec::l0(8),
-        driver::ArchSpec::multiVliw(),
-        driver::ArchSpec::interleaved1(),
-        driver::ArchSpec::interleaved2(),
-    };
+    driver::CliOptions cli = driver::parseCli(argc, argv);
 
-    std::printf("Figure 7: L0 buffers vs distributed-cache "
-                "architectures\n(normalised to unified L1, no L0; "
-                "total = compute + stall)\n\n");
-
-    TextTable t;
-    t.setHeader({"benchmark", "L0-8", "st", "MultiVLIW", "st", "Int-1",
-                 "st", "Int-2", "st"});
-    std::vector<std::vector<double>> norm(archs.size());
-    for (const auto &name : workloads::benchmarkNames()) {
-        workloads::Benchmark bench = workloads::makeBenchmark(name);
-        std::vector<std::string> row{name};
-        for (std::size_t a = 0; a < archs.size(); ++a) {
-            driver::BenchmarkRun r = runner.run(bench, archs[a]);
-            double total = runner.normalized(bench, r);
-            norm[a].push_back(total);
-            row.push_back(TextTable::fmt(total));
-            row.push_back(
-                TextTable::fmt(runner.normalizedStall(bench, r)));
-        }
-        t.addRow(row);
+    driver::ExperimentSpec spec;
+    spec.title = "Figure 7: L0 buffers vs distributed-cache "
+                 "architectures\n(normalised to unified L1, no L0; "
+                 "total = compute + stall)\n\n";
+    spec.footer = "\nPaper reference: L0 buffers outperform the "
+                  "word-interleaved cache and come close to the (more "
+                  "complex) MultiVLIW.\n";
+    spec.archs = {"l0-8", "multivliw", "interleaved-1", "interleaved-2"};
+    const char *shorts[] = {"L0-8", "MultiVLIW", "Int-1", "Int-2"};
+    for (int a = 0; a < 4; ++a) {
+        spec.columns.push_back(driver::normalizedColumn(shorts[a], a));
+        spec.columns.push_back(driver::stallColumn("st", a));
     }
-    std::vector<std::string> mean{"AMEAN"};
-    for (auto &v : norm) {
-        mean.push_back(TextTable::fmt(amean(v)));
-        mean.push_back("");
-    }
-    t.addRow(mean);
-    t.print();
+    spec.meanRow = true;
 
-    std::printf("\nPaper reference: L0 buffers outperform the "
-                "word-interleaved cache and come close to the (more "
-                "complex) MultiVLIW.\n");
-    return 0;
+    return driver::runSuiteMain(std::move(spec), cli);
 }

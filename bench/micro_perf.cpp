@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "driver/suite.hh"
 #include "ir/loop.hh"
 #include "machine/machine_config.hh"
 #include "mem/l0_buffer.hh"
@@ -153,6 +154,53 @@ BM_KernelSimPlanReused(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_KernelSimPlanReused)->Arg(0)->Arg(1);
+
+/**
+ * The experiment engine end to end: a 4-benchmark x 4-architecture
+ * grid (the Figure 7 architectures), executed serially vs on a worker
+ * pool. One iteration = the whole grid including the serial phase-0
+ * baselines, so this measures the wall-clock win of parallel cell
+ * execution (bounded by the phase-0 serial fraction and the core
+ * count; on a single-core host the two track each other, parallel
+ * paying only the thread-pool overhead).
+ */
+driver::ExperimentSpec
+suiteSpec()
+{
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"epicdec", "gsmdec", "jpegdec", "mpeg2dec"};
+    spec.archs = {"l0-8", "multivliw", "interleaved-1",
+                  "interleaved-2"};
+    for (int a = 0; a < 4; ++a)
+        spec.columns.push_back(
+            driver::normalizedColumn(spec.archs[a], a));
+    return spec;
+}
+
+void
+BM_SuiteSerial(benchmark::State &state)
+{
+    driver::Suite suite(suiteSpec());
+    for (auto _ : state) {
+        driver::ResultGrid grid = suite.run(1);
+        benchmark::DoNotOptimize(grid.cell(0, 0).normalized);
+    }
+    state.SetItemsProcessed(state.iterations() * 16); // cells per grid
+}
+BENCHMARK(BM_SuiteSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_SuiteParallel(benchmark::State &state)
+{
+    driver::Suite suite(suiteSpec());
+    const int jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        driver::ResultGrid grid = suite.run(jobs);
+        benchmark::DoNotOptimize(grid.cell(0, 0).normalized);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SuiteParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

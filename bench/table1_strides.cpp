@@ -4,34 +4,73 @@
  * strided memory accesses (S), of "good" strides (SG: 0 or +-1
  * element at the original loop level), and of other strides (SO).
  * Paper values are printed alongside the measured ones.
+ *
+ * No architecture is simulated: the grid has zero archs, and every
+ * column is computed from the benchmark model alone.
  */
 
-#include <cstdio>
+#include <map>
+#include <memory>
 
-#include "common/table.hh"
+#include "driver/cli.hh"
+#include "driver/suite.hh"
 #include "workloads/stride_mix.hh"
-#include "workloads/workload.hh"
 
 using namespace l0vliw;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Table 1: dynamic stride mix of the benchmark models\n");
-    std::printf("(measured vs paper; S = strided, SG = good strides, "
-                "SO = other strides)\n\n");
+    driver::CliOptions cli = driver::parseCli(argc, argv);
 
-    TextTable t;
-    t.setHeader({"benchmark", "S", "S(paper)", "SG", "SG(paper)", "SO",
-                 "SO(paper)"});
-    for (const auto &name : workloads::benchmarkNames()) {
-        workloads::Benchmark b = workloads::makeBenchmark(name);
-        workloads::StrideMix m = workloads::measureStrideMix(b);
-        t.addRow({name, TextTable::pct(m.s, 0),
-                  TextTable::pct(b.paper.s, 0), TextTable::pct(m.sg, 0),
-                  TextTable::pct(b.paper.sg, 0), TextTable::pct(m.so, 0),
-                  TextTable::pct(b.paper.so, 0)});
-    }
-    t.print();
-    return 0;
+    // Measure each benchmark's mix once, not once per column.
+    auto cache =
+        std::make_shared<std::map<std::string, workloads::StrideMix>>();
+    auto mixOf = [cache](const workloads::Benchmark &b)
+        -> const workloads::StrideMix & {
+        auto it = cache->find(b.name);
+        if (it == cache->end())
+            it = cache->emplace(b.name, workloads::measureStrideMix(b))
+                     .first;
+        return it->second;
+    };
+
+    driver::ExperimentSpec spec;
+    spec.title = "Table 1: dynamic stride mix of the benchmark models\n"
+                 "(measured vs paper; S = strided, SG = good strides, "
+                 "SO = other strides)\n\n";
+    spec.columns = {
+        driver::computedColumn("S",
+                               [mixOf](const driver::RowView &row) {
+                                   return CellValue::percent(
+                                       mixOf(row.bench).s, 0);
+                               }),
+        driver::computedColumn("S(paper)",
+                               [](const driver::RowView &row) {
+                                   return CellValue::percent(
+                                       row.bench.paper.s, 0);
+                               }),
+        driver::computedColumn("SG",
+                               [mixOf](const driver::RowView &row) {
+                                   return CellValue::percent(
+                                       mixOf(row.bench).sg, 0);
+                               }),
+        driver::computedColumn("SG(paper)",
+                               [](const driver::RowView &row) {
+                                   return CellValue::percent(
+                                       row.bench.paper.sg, 0);
+                               }),
+        driver::computedColumn("SO",
+                               [mixOf](const driver::RowView &row) {
+                                   return CellValue::percent(
+                                       mixOf(row.bench).so, 0);
+                               }),
+        driver::computedColumn("SO(paper)",
+                               [](const driver::RowView &row) {
+                                   return CellValue::percent(
+                                       row.bench.paper.so, 0);
+                               }),
+    };
+
+    return driver::runSuiteMain(std::move(spec), cli);
 }

@@ -2,50 +2,58 @@
  * @file
  * Regenerates Table 2: the machine configuration parameters of the
  * evaluated clustered VLIW processor, as encoded in MachineConfig.
+ * Not a benchmark grid — a plain two-column parameter table emitted
+ * through the shared result sinks (--format=table|csv|json).
  */
 
-#include <cstdio>
+#include <string>
 
-#include "common/table.hh"
+#include "common/result_sink.hh"
+#include "driver/cli.hh"
 #include "machine/machine_config.hh"
 
 using namespace l0vliw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    driver::CliOptions cli = driver::parseCli(argc, argv);
+
     machine::MachineConfig c = machine::MachineConfig::paperL0(8);
     c.validate();
 
-    std::printf("Table 2: configuration parameters\n\n");
-    TextTable t;
-    t.setHeader({"parameter", "value"});
-    t.addRow({"clusters",
-              std::to_string(c.numClusters) + " (lock-step)"});
-    t.addRow({"functional units / cluster",
-              std::to_string(c.intUnitsPerCluster) + " integer + "
-                  + std::to_string(c.memUnitsPerCluster) + " memory + "
-                  + std::to_string(c.fpUnitsPerCluster) + " FP"});
-    t.addRow({"L0 buffer latency",
-              std::to_string(c.l0Latency) + " cycle"});
-    t.addRow({"L0 buffer organisation",
-              "fully associative, " + std::to_string(c.l0SubblockBytes)
-                  + "-byte subblocks, " + std::to_string(c.l0Ports)
-                  + " r/w ports"});
-    t.addRow({"L1 latency",
-              std::to_string(c.l1Latency)
-                  + " cycles (2 request + 2 access + 2 response)"});
-    t.addRow({"L1 organisation",
-              std::to_string(c.l1Assoc) + "-way set-associative, "
-                  + std::to_string(c.l1SizeBytes / 1024) + "KB, "
-                  + std::to_string(c.l1BlockBytes) + "-byte blocks"});
-    t.addRow({"shift/interleave logic",
-              std::to_string(c.interleavePenalty) + " extra cycle"});
-    t.addRow({"L2 latency",
-              std::to_string(c.l2Latency) + " cycles (always hits)"});
-    t.addRow({"register-to-register buses",
-              std::to_string(c.numBuses) + " buses, "
-                  + std::to_string(c.busLatency) + "-cycle latency"});
-    t.print();
+    ResultTable t;
+    t.title = "Table 2: configuration parameters\n\n";
+    t.header = {"parameter", "value"};
+    auto row = [&t](const std::string &param, const std::string &value) {
+        t.rows.push_back(
+            {CellValue::text(param), CellValue::text(value)});
+    };
+    row("clusters", std::to_string(c.numClusters) + " (lock-step)");
+    row("functional units / cluster",
+        std::to_string(c.intUnitsPerCluster) + " integer + "
+            + std::to_string(c.memUnitsPerCluster) + " memory + "
+            + std::to_string(c.fpUnitsPerCluster) + " FP");
+    row("L0 buffer latency", std::to_string(c.l0Latency) + " cycle");
+    row("L0 buffer organisation",
+        "fully associative, " + std::to_string(c.l0SubblockBytes)
+            + "-byte subblocks, " + std::to_string(c.l0Ports)
+            + " r/w ports");
+    row("L1 latency",
+        std::to_string(c.l1Latency)
+            + " cycles (2 request + 2 access + 2 response)");
+    row("L1 organisation",
+        std::to_string(c.l1Assoc) + "-way set-associative, "
+            + std::to_string(c.l1SizeBytes / 1024) + "KB, "
+            + std::to_string(c.l1BlockBytes) + "-byte blocks");
+    row("shift/interleave logic",
+        std::to_string(c.interleavePenalty) + " extra cycle");
+    row("L2 latency",
+        std::to_string(c.l2Latency) + " cycles (always hits)");
+    row("register-to-register buses",
+        std::to_string(c.numBuses) + " buses, "
+            + std::to_string(c.busLatency) + "-cycle latency");
+
+    makeSink(cli.format)->write(t);
     return 0;
 }

@@ -3,55 +3,75 @@
  * Sweep one benchmark across every memory architecture and L0 size,
  * printing the paper-style normalised execution-time breakdown. A
  * miniature of the Figure 5 + Figure 7 harnesses for a single
- * workload, useful when exploring a new benchmark model.
+ * workload, useful when exploring a new benchmark model — and the
+ * arch-major mode of the experiment engine: rows are architectures,
+ * not benchmarks.
  *
- * Usage: compare_architectures [benchmark]   (default: gsmdec)
+ * Usage: compare_architectures [benchmark] [--jobs=N]
+ *        [--format=table|csv|json]          (default: gsmdec)
  */
 
 #include <cstdio>
 #include <string>
-#include <vector>
 
-#include "common/table.hh"
-#include "driver/runner.hh"
+#include "driver/cli.hh"
+#include "driver/suite.hh"
 #include "workloads/stride_mix.hh"
-#include "workloads/workload.hh"
 
 using namespace l0vliw;
 
 int
 main(int argc, char **argv)
 {
-    std::string name = argc > 1 ? argv[1] : "gsmdec";
+    driver::CliOptions cli = driver::parseCli(argc, argv);
+    std::string name =
+        cli.positional.empty() ? "gsmdec" : cli.positional[0];
+
     workloads::Benchmark bench = workloads::makeBenchmark(name);
     workloads::StrideMix mix = workloads::measureStrideMix(bench);
 
-    std::printf("benchmark %s: %zu loops, stride mix S=%.0f%% "
-                "SG=%.0f%% SO=%.0f%%\n\n",
-                name.c_str(), bench.loops.size(), 100 * mix.s,
-                100 * mix.sg, 100 * mix.so);
+    char title[256];
+    std::snprintf(title, sizeof(title),
+                  "benchmark %s: %zu loops, stride mix S=%.0f%% "
+                  "SG=%.0f%% SO=%.0f%%\n\n",
+                  name.c_str(), bench.loops.size(), 100 * mix.s,
+                  100 * mix.sg, 100 * mix.so);
 
-    std::vector<driver::ArchSpec> archs = {
-        driver::ArchSpec::unified(),     driver::ArchSpec::l0(2),
-        driver::ArchSpec::l0(4),         driver::ArchSpec::l0(8),
-        driver::ArchSpec::l0(16),        driver::ArchSpec::l0(-1),
-        driver::ArchSpec::multiVliw(),   driver::ArchSpec::interleaved1(),
-        driver::ArchSpec::interleaved2(),
+    driver::ExperimentSpec spec;
+    spec.title = title;
+    spec.benchmarks = {name};
+    spec.archs = {
+        "unified", "l0-2",  "l0-4",      "l0-8",          "l0-16",
+        "l0-unbounded", "multivliw", "interleaved-1", "interleaved-2",
+    };
+    spec.rows = driver::RowAxis::Archs;
+    spec.rowHeader = "architecture";
+    spec.columns = {
+        driver::normalizedColumn("normalised"),
+        driver::stallColumn("stall"),
+        driver::computedColumn("L0 hit-rate",
+                               [](const driver::RowView &row) {
+                                   const driver::BenchmarkRun &r =
+                                       row.cell().run;
+                                   return r.l0Hits + r.l0Misses > 0
+                                              ? CellValue::percent(
+                                                    r.l0HitRate(), 1)
+                                              : CellValue::text("-");
+                               }),
+        driver::unrollColumn("unroll", -1, 2),
+        driver::computedColumn("coherent",
+                               [](const driver::RowView &row) {
+                                   return CellValue::text(
+                                       row.cell()
+                                                   .run
+                                                   .coherenceViolations
+                                               == 0
+                                           ? "yes"
+                                           : "NO");
+                               }),
     };
 
-    driver::ExperimentRunner runner;
-    TextTable t;
-    t.setHeader({"architecture", "normalised", "stall", "L0 hit-rate",
-                 "unroll", "coherent"});
-    for (const auto &arch : archs) {
-        driver::BenchmarkRun r = runner.run(bench, arch);
-        t.addRow({arch.label, TextTable::fmt(runner.normalized(bench, r)),
-                  TextTable::fmt(runner.normalizedStall(bench, r)),
-                  r.l0Hits + r.l0Misses > 0
-                      ? TextTable::pct(r.l0HitRate(), 1) : "-",
-                  TextTable::fmt(r.avgUnroll, 2),
-                  r.coherenceViolations == 0 ? "yes" : "NO"});
-    }
-    t.print();
+    driver::Suite suite(std::move(spec));
+    suite.run(cli.jobs).emit(cli.format);
     return 0;
 }

@@ -5,19 +5,19 @@
  * the compute/stall split. Useful to understand *why* a benchmark
  * behaves as it does in the paper-level figures.
  *
- * Usage: inspect_benchmark [benchmark] [arch]
+ * Usage: inspect_benchmark [benchmark] [arch] [--format=...]
  *   benchmark: one of the 13 Mediabench names   (default: epicdec)
- *   arch: unified | l0-N | l0-unbounded | multivliw | int1 | int2
- *         (default: l0-8)
+ *   arch: any label archRegistry() resolves — unified, l0-N,
+ *         l0-unbounded, multivliw, int1, int2, ...   (default: l0-8)
  */
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
-#include "common/logging.hh"
-#include "common/table.hh"
-#include "driver/runner.hh"
+#include "common/result_sink.hh"
+#include "driver/cli.hh"
+#include "driver/registry.hh"
+#include "driver/suite.hh"
 #include "ir/memdep.hh"
 #include "mem/l0_system.hh"
 #include "mem/mem_system.hh"
@@ -27,49 +27,30 @@
 
 using namespace l0vliw;
 
-namespace
-{
-
-driver::ArchSpec
-parseArch(const std::string &s)
-{
-    if (s == "unified")
-        return driver::ArchSpec::unified();
-    if (s == "multivliw")
-        return driver::ArchSpec::multiVliw();
-    if (s == "int1")
-        return driver::ArchSpec::interleaved1();
-    if (s == "int2")
-        return driver::ArchSpec::interleaved2();
-    if (s == "l0-unbounded")
-        return driver::ArchSpec::l0(-1);
-    if (s.rfind("l0-", 0) == 0)
-        return driver::ArchSpec::l0(std::stoi(s.substr(3)));
-    fatal("unknown arch '%s'", s.c_str());
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    std::string bench_name = argc > 1 ? argv[1] : "epicdec";
-    std::string arch_name = argc > 2 ? argv[2] : "l0-8";
+    driver::CliOptions cli = driver::parseCli(argc, argv);
+    std::string bench_name =
+        cli.positional.empty() ? "epicdec" : cli.positional[0];
+    std::string arch_name =
+        cli.positional.size() < 2 ? "l0-8" : cli.positional[1];
 
     workloads::Benchmark bench = workloads::makeBenchmark(bench_name);
-    driver::ArchSpec arch = parseArch(arch_name);
-
-    std::printf("benchmark %s on %s\n\n", bench_name.c_str(),
-                arch.label.c_str());
+    driver::ArchSpec arch = driver::archRegistry().resolve(arch_name);
 
     // Reference unroll decisions (same rule the runner uses).
     driver::ArchSpec ref = driver::ArchSpec::l0(8);
     sched::ModuloScheduler ref_sched(ref.config, ref.sched);
     sched::ModuloScheduler scheduler(arch.config, arch.sched);
 
-    TextTable t;
-    t.setHeader({"loop", "unroll", "II", "SC", "l0loads", "trips", "inv",
-                 "compute", "stall", "hit%", "viol"});
+    ResultTable t;
+    char title[128];
+    std::snprintf(title, sizeof(title), "benchmark %s on %s\n\n",
+                  bench_name.c_str(), arch.label.c_str());
+    t.title = title;
+    t.header = {"loop", "unroll", "II", "SC", "l0loads", "trips", "inv",
+                "compute", "stall", "hit%", "viol"};
 
     Cycle clock = 0;
     for (const auto &li : bench.loops) {
@@ -105,21 +86,28 @@ main(int argc, char **argv)
             std::uint64_t m = st.get("l0_misses");
             hit = h + m == 0 ? 0 : 100.0 * h / (h + m);
         }
-        t.addRow({li.loop.name(), std::to_string(u), std::to_string(s.ii),
-                  std::to_string(s.stageCount), std::to_string(l0_loads),
-                  std::to_string(li.trips), std::to_string(li.invocations),
-                  std::to_string(compute), std::to_string(stall),
-                  TextTable::fmt(hit, 1), std::to_string(viol)});
+        t.rows.push_back(
+            {CellValue::text(li.loop.name()),
+             CellValue::integer(static_cast<std::uint64_t>(u)),
+             CellValue::integer(static_cast<std::uint64_t>(s.ii)),
+             CellValue::integer(static_cast<std::uint64_t>(s.stageCount)),
+             CellValue::integer(static_cast<std::uint64_t>(l0_loads)),
+             CellValue::integer(li.trips), CellValue::integer(li.invocations),
+             CellValue::integer(compute), CellValue::integer(stall),
+             CellValue::fixed(hit, 1), CellValue::integer(viol)});
     }
-    t.print();
+    makeSink(cli.format)->write(t);
 
-    // Whole-benchmark summary via the runner (normalised).
-    driver::ExperimentRunner runner;
-    driver::BenchmarkRun r = runner.run(bench, arch);
+    // Whole-benchmark summary via a 1x1 suite (normalised).
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {bench_name};
+    spec.archs = {arch.label};
+    driver::ResultGrid grid = driver::Suite(std::move(spec)).run(cli.jobs);
+    const driver::Cell &cell = grid.cell(0, 0);
+    const driver::BenchmarkRun &r = cell.run;
     std::printf("\nnormalised execution time: %.3f (stall %.3f), "
                 "avg unroll %.2f, L0 hit rate %.1f%%\n",
-                runner.normalized(bench, r),
-                runner.normalizedStall(bench, r), r.avgUnroll,
+                cell.normalized, cell.normalizedStall, r.avgUnroll,
                 100.0 * r.l0HitRate());
     std::printf("fills: linear %llu, interleaved %llu\n",
                 static_cast<unsigned long long>(r.fillsLinear),

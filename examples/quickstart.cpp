@@ -2,17 +2,19 @@
  * @file
  * Quickstart: build a small loop, modulo-schedule it for a clustered
  * VLIW with and without L0 buffers, simulate both, and print the
- * schedules and timing side by side.
+ * schedules and timing side by side — through the typed result sinks,
+ * so --format=csv|json emits machine-readable output.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/examples/quickstart [--format=table|csv|json]
  */
 
 #include <cstdio>
+#include <string>
 
-#include "common/table.hh"
-#include "driver/runner.hh"
+#include "common/result_sink.hh"
+#include "driver/cli.hh"
 #include "ir/loop.hh"
 #include "mem/mem_system.hh"
 #include "sched/scheduler.hh"
@@ -25,13 +27,17 @@ using namespace l0vliw;
 namespace
 {
 
-void
-printSchedule(const char *title, const sched::Schedule &s)
+ResultTable
+scheduleTable(const char *title, const sched::Schedule &s)
 {
-    std::printf("%s: II=%d, SC=%d\n", title, s.ii, s.stageCount);
-    TextTable t;
-    t.setHeader({"op", "kind", "cluster", "cycle", "lat", "access",
-                 "map", "prefetch"});
+    ResultTable t;
+    char head[128];
+    std::snprintf(head, sizeof(head), "%s: II=%d, SC=%d\n", title, s.ii,
+                  s.stageCount);
+    t.title = head;
+    t.footer = "\n";
+    t.header = {"op", "kind", "cluster", "cycle", "lat", "access",
+                "map", "prefetch"};
     for (OpId i = 0; i < s.loop.numOps(); ++i) {
         const ir::Operation &op = s.loop.op(i);
         const sched::OpSchedule &os = s.ops[i];
@@ -40,25 +46,33 @@ printSchedule(const char *title, const sched::Schedule &s)
             : op.kind == ir::OpKind::Store ? "store"
             : op.kind == ir::OpKind::Prefetch ? "prefetch"
             : op.kind == ir::OpKind::FpAlu ? "fp" : "int";
-        t.addRow({op.tag.empty() ? std::to_string(i) : op.tag, kind,
-                  std::to_string(os.cluster), std::to_string(os.startCycle),
-                  std::to_string(os.assignedLatency),
-                  op.kind == ir::OpKind::Load && os.usesL0
-                      ? ir::toString(os.access) : "-",
-                  op.kind == ir::OpKind::Load && os.usesL0
-                      ? ir::toString(os.map) : "-",
-                  os.prefetch == ir::PrefetchHint::NoPrefetch
-                      ? "-" : ir::toString(os.prefetch)});
+        bool l0load = op.kind == ir::OpKind::Load && os.usesL0;
+        t.rows.push_back(
+            {CellValue::text(op.tag.empty() ? std::to_string(i)
+                                            : op.tag),
+             CellValue::text(kind),
+             CellValue::integer(static_cast<std::uint64_t>(os.cluster)),
+             CellValue::integer(
+                 static_cast<std::uint64_t>(os.startCycle)),
+             CellValue::integer(
+                 static_cast<std::uint64_t>(os.assignedLatency)),
+             CellValue::text(l0load ? ir::toString(os.access) : "-"),
+             CellValue::text(l0load ? ir::toString(os.map) : "-"),
+             CellValue::text(os.prefetch == ir::PrefetchHint::NoPrefetch
+                                 ? "-"
+                                 : ir::toString(os.prefetch))});
     }
-    t.print();
-    std::printf("\n");
+    return t;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    driver::CliOptions cli = driver::parseCli(argc, argv);
+    auto sink = makeSink(cli.format);
+
     // A 2-byte-element saturating add over two input streams — the
     // kind of inner loop the paper's Section 3.1 example uses.
     workloads::AddressSpace as;
@@ -79,14 +93,16 @@ main()
     sched::SchedulerOptions base_opts = sched::SchedulerOptions::baseUnified();
     sched::ModuloScheduler base_sched(base_cfg, base_opts);
     sched::Schedule base = base_sched.schedule(unrolled);
-    printSchedule("BASE schedule (unified L1, loads at 6 cycles)", base);
+    sink->write(scheduleTable(
+        "BASE schedule (unified L1, loads at 6 cycles)", base));
 
     // --- the paper's architecture: 8-entry L0 buffers ---
     machine::MachineConfig l0_cfg = machine::MachineConfig::paperL0(8);
     sched::SchedulerOptions l0_opts = sched::SchedulerOptions::l0();
     sched::ModuloScheduler l0_sched(l0_cfg, l0_opts);
     sched::Schedule with_l0 = l0_sched.schedule(unrolled);
-    printSchedule("L0-aware schedule (8-entry L0 buffers)", with_l0);
+    sink->write(
+        scheduleTable("L0-aware schedule (8-entry L0 buffers)", with_l0));
 
     for (const auto &v : sched::validateSchedule(base, base_cfg))
         std::printf("BASE schedule violation: %s\n", v.c_str());
@@ -102,17 +118,19 @@ main()
     auto l0_res = sim::simulateInvocation(with_l0, *l0_mem, trips / 4, 0,
                                           sim_opts);
 
-    TextTable t;
-    t.setHeader({"config", "compute", "stall", "total", "violations"});
-    t.addRow({"unified L1", std::to_string(base_res.computeCycles),
-              std::to_string(base_res.stallCycles),
-              std::to_string(base_res.totalCycles()),
-              std::to_string(base_res.coherenceViolations)});
-    t.addRow({"8-entry L0", std::to_string(l0_res.computeCycles),
-              std::to_string(l0_res.stallCycles),
-              std::to_string(l0_res.totalCycles()),
-              std::to_string(l0_res.coherenceViolations)});
-    t.print();
+    ResultTable t;
+    t.header = {"config", "compute", "stall", "total", "violations"};
+    auto timing = [&t](const char *config,
+                       const sim::InvocationResult &r) {
+        t.rows.push_back({CellValue::text(config),
+                          CellValue::integer(r.computeCycles),
+                          CellValue::integer(r.stallCycles),
+                          CellValue::integer(r.totalCycles()),
+                          CellValue::integer(r.coherenceViolations)});
+    };
+    timing("unified L1", base_res);
+    timing("8-entry L0", l0_res);
+    sink->write(t);
 
     double speedup = static_cast<double>(base_res.totalCycles())
                      / l0_res.totalCycles();

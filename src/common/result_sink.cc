@@ -1,0 +1,190 @@
+#include "common/result_sink.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace l0vliw
+{
+
+std::string
+CellValue::formatted() const
+{
+    switch (kind_) {
+    case Kind::Text:
+        return text_;
+    case Kind::Fixed:
+        return TextTable::fmt(num_, digits_);
+    case Kind::Percent:
+        return TextTable::pct(num_, digits_);
+    case Kind::Integer:
+        return std::to_string(int_);
+    }
+    return {};
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+CellValue::json() const
+{
+    switch (kind_) {
+    case Kind::Text:
+        return jsonEscape(text_);
+    case Kind::Fixed:
+    case Kind::Percent: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.12g", num_);
+        return buf;
+    }
+    case Kind::Integer:
+        return std::to_string(int_);
+    }
+    return "null";
+}
+
+SinkFormat
+parseSinkFormat(const std::string &name)
+{
+    if (name == "table")
+        return SinkFormat::Table;
+    if (name == "csv")
+        return SinkFormat::Csv;
+    if (name == "json")
+        return SinkFormat::Json;
+    fatal("unknown output format '%s' (expected table|csv|json)",
+          name.c_str());
+}
+
+std::string
+renderText(const ResultTable &t)
+{
+    TextTable table;
+    table.setHeader(t.header);
+    for (const auto &row : t.rows) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const auto &v : row)
+            cells.push_back(v.formatted());
+        table.addRow(std::move(cells));
+    }
+    return t.title + table.render() + t.footer;
+}
+
+std::string
+renderCsv(const ResultTable &t)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < t.header.size(); ++i)
+        out << (i ? "," : "") << csvEscape(t.header[i]);
+    out << '\n';
+    for (const auto &row : t.rows) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            out << (i ? "," : "") << csvEscape(row[i].formatted());
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+renderJson(const ResultTable &t)
+{
+    std::ostringstream out;
+    out << "{\n";
+    if (!t.title.empty())
+        out << "  \"title\": " << jsonEscape(t.title) << ",\n";
+    if (!t.footer.empty())
+        out << "  \"footer\": " << jsonEscape(t.footer) << ",\n";
+    out << "  \"columns\": [";
+    for (std::size_t i = 0; i < t.header.size(); ++i)
+        out << (i ? ", " : "") << jsonEscape(t.header[i]);
+    out << "],\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+        out << "    [";
+        for (std::size_t i = 0; i < t.rows[r].size(); ++i)
+            out << (i ? ", " : "") << t.rows[r][i].json();
+        out << (r + 1 < t.rows.size() ? "],\n" : "]\n");
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+void
+TextTableSink::write(const ResultTable &t)
+{
+    std::fputs(renderText(t).c_str(), out_);
+}
+
+void
+CsvSink::write(const ResultTable &t)
+{
+    std::fputs(renderCsv(t).c_str(), out_);
+}
+
+void
+JsonSink::write(const ResultTable &t)
+{
+    std::fputs(renderJson(t).c_str(), out_);
+}
+
+std::unique_ptr<ResultSink>
+makeSink(SinkFormat format, std::FILE *out)
+{
+    switch (format) {
+    case SinkFormat::Table:
+        return std::make_unique<TextTableSink>(out);
+    case SinkFormat::Csv:
+        return std::make_unique<CsvSink>(out);
+    case SinkFormat::Json:
+        return std::make_unique<JsonSink>(out);
+    }
+    return nullptr;
+}
+
+} // namespace l0vliw

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Typed result tables and pluggable output sinks.
+ *
+ * The experiment engine produces a ResultTable: free-form title/footer
+ * prose plus a grid of typed cells (text, fixed-point, percentage,
+ * integer). Sinks render one table per format: the aligned TextTable
+ * the paper drivers always printed (byte-identical formatting via
+ * TextTable::fmt/pct), CSV for spreadsheets, and JSON for dashboards —
+ * JSON emits the raw numeric values, not the rounded display strings.
+ */
+
+#ifndef L0VLIW_COMMON_RESULT_SINK_HH
+#define L0VLIW_COMMON_RESULT_SINK_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace l0vliw
+{
+
+/** One typed cell of a result table. */
+class CellValue
+{
+  public:
+    enum class Kind { Text, Fixed, Percent, Integer };
+
+    CellValue() = default;
+
+    static CellValue
+    text(std::string s)
+    {
+        CellValue v;
+        v.kind_ = Kind::Text;
+        v.text_ = std::move(s);
+        return v;
+    }
+
+    /** A double rendered with @p digits decimals (TextTable::fmt). */
+    static CellValue
+    fixed(double value, int digits = 2)
+    {
+        CellValue v;
+        v.kind_ = Kind::Fixed;
+        v.num_ = value;
+        v.digits_ = digits;
+        return v;
+    }
+
+    /** A 0..1 fraction rendered as a percentage (TextTable::pct). */
+    static CellValue
+    percent(double value, int digits = 1)
+    {
+        CellValue v;
+        v.kind_ = Kind::Percent;
+        v.num_ = value;
+        v.digits_ = digits;
+        return v;
+    }
+
+    static CellValue
+    integer(std::uint64_t value)
+    {
+        CellValue v;
+        v.kind_ = Kind::Integer;
+        v.int_ = value;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNumeric() const { return kind_ != Kind::Text; }
+
+    /** Raw numeric value (Percent stays a 0..1 fraction). */
+    double
+    number() const
+    {
+        return kind_ == Kind::Integer ? static_cast<double>(int_)
+                                      : num_;
+    }
+
+    std::uint64_t integerValue() const { return int_; }
+    const std::string &textValue() const { return text_; }
+
+    /** The display string, exactly as the hand-written drivers did. */
+    std::string formatted() const;
+
+    /** A JSON literal: raw number, integer, or quoted string. */
+    std::string json() const;
+
+  private:
+    Kind kind_ = Kind::Text;
+    std::string text_;
+    double num_ = 0;
+    std::uint64_t int_ = 0;
+    int digits_ = 2;
+};
+
+/** A rendered experiment result: prose plus a grid of typed cells. */
+struct ResultTable
+{
+    /** Emitted verbatim before/after the text table (text sink only;
+     *  the JSON sink carries them as fields, CSV drops them). */
+    std::string title;
+    std::string footer;
+    std::vector<std::string> header;
+    std::vector<std::vector<CellValue>> rows;
+};
+
+/** Output format selector (the drivers' --format flag). */
+enum class SinkFormat { Table, Csv, Json };
+
+/** Parse "table" | "csv" | "json" (fatal on anything else). */
+SinkFormat parseSinkFormat(const std::string &name);
+
+/** Render @p t as the aligned text table, title/footer included. */
+std::string renderText(const ResultTable &t);
+
+/** Render @p t as CSV (display strings; title/footer dropped). */
+std::string renderCsv(const ResultTable &t);
+
+/** Render @p t as a JSON object with raw typed values. */
+std::string renderJson(const ResultTable &t);
+
+/** A destination for result tables. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+    virtual void write(const ResultTable &t) = 0;
+};
+
+/** Renders through TextTable, exactly like the pre-engine drivers. */
+class TextTableSink : public ResultSink
+{
+  public:
+    explicit TextTableSink(std::FILE *out = stdout) : out_(out) {}
+    void write(const ResultTable &t) override;
+
+  private:
+    std::FILE *out_;
+};
+
+class CsvSink : public ResultSink
+{
+  public:
+    explicit CsvSink(std::FILE *out = stdout) : out_(out) {}
+    void write(const ResultTable &t) override;
+
+  private:
+    std::FILE *out_;
+};
+
+class JsonSink : public ResultSink
+{
+  public:
+    explicit JsonSink(std::FILE *out = stdout) : out_(out) {}
+    void write(const ResultTable &t) override;
+
+  private:
+    std::FILE *out_;
+};
+
+std::unique_ptr<ResultSink> makeSink(SinkFormat format,
+                                     std::FILE *out = stdout);
+
+} // namespace l0vliw
+
+#endif // L0VLIW_COMMON_RESULT_SINK_HH

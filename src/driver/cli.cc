@@ -1,0 +1,67 @@
+#include "driver/cli.hh"
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace l0vliw::driver
+{
+
+namespace
+{
+
+int
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace
+
+CliOptions
+parseCli(int argc, char **argv)
+{
+    CliOptions opts;
+    opts.jobs = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--filter=", 0) == 0) {
+            opts.filter = arg.substr(9);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            const char *val = arg.c_str() + 7;
+            char *end = nullptr;
+            long jobs = std::strtol(val, &end, 10);
+            if (*val == '\0' || *end != '\0' || jobs < 1
+                || jobs > 4096)
+                fatal("--jobs wants a positive integer, got '%s'",
+                      val);
+            opts.jobs = static_cast<int>(jobs);
+        } else if (arg.rfind("--format=", 0) == 0) {
+            opts.format = parseSinkFormat(arg.substr(9));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--filter=<substr>] [--jobs=N] "
+                "[--format=table|csv|json] [positional args]\n",
+                argv[0]);
+            std::exit(0);
+        } else if (arg.rfind("--", 0) == 0) {
+            fatal("unknown option '%s' (see --help)", arg.c_str());
+        } else {
+            opts.positional.push_back(std::move(arg));
+        }
+    }
+    return opts;
+}
+
+int
+runSuiteMain(ExperimentSpec spec, const CliOptions &cli)
+{
+    spec.filter(cli.filter);
+    Suite suite(std::move(spec));
+    suite.run(cli.jobs).emit(cli.format);
+    return 0;
+}
+
+} // namespace l0vliw::driver

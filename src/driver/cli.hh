@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The shared command line of every figure/table driver and example:
+ *
+ *   --filter=<substr>   keep only benchmarks whose name contains it
+ *   --jobs=N            worker threads for Suite::run (default: all
+ *                       hardware threads; results are bit-identical
+ *                       for every value)
+ *   --format=table|csv|json   output sink (default: table)
+ *
+ * Anything else is passed through as a positional argument (the
+ * examples take benchmark/architecture names positionally).
+ */
+
+#ifndef L0VLIW_DRIVER_CLI_HH
+#define L0VLIW_DRIVER_CLI_HH
+
+#include <string>
+#include <vector>
+
+#include "common/result_sink.hh"
+#include "driver/suite.hh"
+
+namespace l0vliw::driver
+{
+
+/** Parsed shared driver options. */
+struct CliOptions
+{
+    std::string filter;
+    int jobs = 1;
+    SinkFormat format = SinkFormat::Table;
+    std::vector<std::string> positional;
+};
+
+/** Parse argv (fatal on unknown --flags; --help prints usage). */
+CliOptions parseCli(int argc, char **argv);
+
+/**
+ * The whole body of a grid driver: apply the filter, execute the
+ * suite on the requested jobs, emit through the requested sink.
+ * Returns the process exit code.
+ */
+int runSuiteMain(ExperimentSpec spec, const CliOptions &cli);
+
+} // namespace l0vliw::driver
+
+#endif // L0VLIW_DRIVER_CLI_HH

@@ -1,0 +1,165 @@
+#include "driver/registry.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace l0vliw::driver
+{
+
+namespace
+{
+
+const ArchRegistry::Factory *
+findIn(const std::vector<std::pair<std::string, ArchRegistry::Factory>>
+           &factories,
+       const std::string &name)
+{
+    for (const auto &kv : factories)
+        if (kv.first == name)
+            return &kv.second;
+    return nullptr;
+}
+
+/** Parse a decimal integer; false unless the whole string matches. */
+bool
+parseInt(const std::string &s, int &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size())
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+/** Resolve the parametric "l0-..." label grammar. */
+std::optional<ArchSpec>
+parseL0Label(const std::string &label)
+{
+    if (label.rfind("l0-", 0) != 0)
+        return std::nullopt;
+    std::string rest = label.substr(3);
+
+    // Leading size: "unbounded" or a positive integer.
+    int entries = -1;
+    std::size_t dash = rest.find('-');
+    std::string size = rest.substr(0, dash);
+    std::string suffix =
+        dash == std::string::npos ? "" : rest.substr(dash + 1);
+    if (size == "unbounded")
+        entries = -1;
+    else if (!parseInt(size, entries) || entries <= 0)
+        return std::nullopt;
+
+    if (suffix.empty())
+        return ArchSpec::l0(entries);
+    if (suffix == "nl0")
+        return ArchSpec::l0(entries, sched::CoherenceMode::ForceNL0);
+    if (suffix == "psr")
+        return ArchSpec::l0(entries, sched::CoherenceMode::Psr);
+    if (suffix == "allcand")
+        return ArchSpec::l0AllCandidates(entries);
+    if (suffix.rfind("pf", 0) == 0) {
+        int d = 0;
+        if (parseInt(suffix.substr(2), d) && d >= 0)
+            return ArchSpec::l0PrefetchDistance(entries, d);
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+void
+ArchRegistry::add(const std::string &name, Factory factory)
+{
+    if (contains(name))
+        fatal("architecture '%s' registered twice", name.c_str());
+    order_.push_back(name);
+    factories_.emplace_back(name, std::move(factory));
+}
+
+void
+ArchRegistry::addAlias(const std::string &alias, const std::string &name)
+{
+    if (contains(alias))
+        fatal("architecture alias '%s' registered twice", alias.c_str());
+    if (!findIn(factories_, name))
+        fatal("alias '%s' targets unknown architecture '%s'",
+              alias.c_str(), name.c_str());
+    aliases_.emplace_back(alias, name);
+}
+
+bool
+ArchRegistry::contains(const std::string &name) const
+{
+    if (findIn(factories_, name))
+        return true;
+    for (const auto &kv : aliases_)
+        if (kv.first == name)
+            return true;
+    return false;
+}
+
+std::optional<ArchSpec>
+ArchRegistry::tryResolve(const std::string &label) const
+{
+    if (const Factory *f = findIn(factories_, label))
+        return (*f)();
+    for (const auto &kv : aliases_)
+        if (kv.first == label)
+            if (const Factory *f = findIn(factories_, kv.second))
+                return (*f)();
+    return parseL0Label(label);
+}
+
+ArchSpec
+ArchRegistry::resolve(const std::string &label) const
+{
+    std::optional<ArchSpec> spec = tryResolve(label);
+    if (!spec)
+        fatal("unknown architecture '%s' (try unified, l0-<N>, "
+              "l0-unbounded, l0-<N>-{nl0,psr,allcand,pf<D>}, "
+              "multivliw, interleaved-1, interleaved-2)",
+              label.c_str());
+    return *spec;
+}
+
+ArchRegistry &
+archRegistry()
+{
+    static ArchRegistry *reg = [] {
+        auto *r = new ArchRegistry;
+        r->add("unified", [] { return ArchSpec::unified(); });
+        r->add("multivliw", [] { return ArchSpec::multiVliw(); });
+        r->add("interleaved-1", [] { return ArchSpec::interleaved1(); });
+        r->add("interleaved-2", [] { return ArchSpec::interleaved2(); });
+        // The L0 sizes the figures sweep, plus the ablation variants;
+        // other l0-... labels resolve through the parametric grammar.
+        for (int entries : {2, 4, 8, 16})
+            r->add("l0-" + std::to_string(entries),
+                   [entries] { return ArchSpec::l0(entries); });
+        r->add("l0-unbounded", [] { return ArchSpec::l0(-1); });
+        r->add("l0-8-nl0", [] {
+            return ArchSpec::l0(8, sched::CoherenceMode::ForceNL0);
+        });
+        r->add("l0-8-psr", [] {
+            return ArchSpec::l0(8, sched::CoherenceMode::Psr);
+        });
+        r->add("l0-4-allcand",
+               [] { return ArchSpec::l0AllCandidates(4); });
+        for (int d : {1, 2, 3})
+            r->add("l0-8-pf" + std::to_string(d), [d] {
+                return ArchSpec::l0PrefetchDistance(8, d);
+            });
+        // Short names inspect_benchmark historically accepted.
+        r->addAlias("int1", "interleaved-1");
+        r->addAlias("int2", "interleaved-2");
+        return r;
+    }();
+    return *reg;
+}
+
+} // namespace l0vliw::driver

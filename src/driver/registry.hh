@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The architecture registry: every ArchSpec factory registered under
+ * its label, so experiment specs can name architectures by string
+ * ("l0-8", "multivliw", ...) instead of calling factories directly.
+ *
+ * Besides the explicitly registered labels, the registry understands
+ * the parametric "l0-..." label grammar the ArchSpec factories emit,
+ * so any label a factory can produce resolves back to that factory:
+ *
+ *   l0-<N> | l0-unbounded          ArchSpec::l0(N / -1)
+ *   ...-nl0 | ...-psr              coherence mode suffixes
+ *   ...-allcand                    ArchSpec::l0AllCandidates(N)
+ *   ...-pf<D>                      ArchSpec::l0PrefetchDistance(N, D)
+ *
+ * The registry is process-global; registering is cheap and happens at
+ * first use. Resolution is read-only and safe to call concurrently
+ * once registration stops (the drivers register before running).
+ */
+
+#ifndef L0VLIW_DRIVER_REGISTRY_HH
+#define L0VLIW_DRIVER_REGISTRY_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+
+namespace l0vliw::driver
+{
+
+/** Label-to-factory registry of architecture specifications. */
+class ArchRegistry
+{
+  public:
+    using Factory = std::function<ArchSpec()>;
+
+    /** Register @p factory under @p name (fatal on duplicates). */
+    void add(const std::string &name, Factory factory);
+
+    /** Register @p alias as another name for registered @p name. */
+    void addAlias(const std::string &alias, const std::string &name);
+
+    /** True if @p name is explicitly registered (aliases included). */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Resolve @p label: a registered name or alias, else the
+     * parametric "l0-..." grammar. Empty on unknown labels.
+     */
+    std::optional<ArchSpec> tryResolve(const std::string &label) const;
+
+    /** tryResolve(), but fatal on unknown labels. */
+    ArchSpec resolve(const std::string &label) const;
+
+    /** The registered canonical labels, in registration order. */
+    const std::vector<std::string> &names() const { return order_; }
+
+  private:
+    std::vector<std::string> order_;
+    std::vector<std::pair<std::string, Factory>> factories_;
+    std::vector<std::pair<std::string, std::string>> aliases_;
+};
+
+/**
+ * The process-wide registry, pre-seeded with every architecture the
+ * paper's figures and tables use.
+ */
+ArchRegistry &archRegistry();
+
+} // namespace l0vliw::driver
+
+#endif // L0VLIW_DRIVER_REGISTRY_HH

@@ -107,13 +107,9 @@ ArchSpec::interleaved2()
     return a;
 }
 
-const std::vector<int> &
-ExperimentRunner::unrollFactors(const workloads::Benchmark &bench)
+std::vector<int>
+chooseUnrollFactors(const workloads::Benchmark &bench)
 {
-    auto it = unrollCache.find(bench.name);
-    if (it != unrollCache.end())
-        return it->second;
-
     // Reference configuration for the (architecture-independent)
     // unroll decision: 8-entry L0 buffers, as in the paper's main
     // configuration.
@@ -127,21 +123,14 @@ ExperimentRunner::unrollFactors(const workloads::Benchmark &bench)
         factors.push_back(sched::chooseUnrollFactor(
             body, li.trips, scheduler, ref.config.numClusters));
     }
-    return unrollCache.emplace(bench.name, std::move(factors))
-        .first->second;
+    return factors;
 }
 
-const std::vector<std::shared_ptr<sim::KernelPlan>> &
-ExperimentRunner::loopPlans(const workloads::Benchmark &bench,
-                            const ArchSpec &arch)
+std::vector<std::shared_ptr<sim::KernelPlan>>
+buildLoopPlans(const workloads::Benchmark &bench, const ArchSpec &arch,
+               const std::vector<int> &unrolls)
 {
-    std::string key = bench.name + '\0' + arch.label;
-    auto it = planCache.find(key);
-    if (it != planCache.end())
-        return it->second;
-
     sched::ModuloScheduler scheduler(arch.config, arch.sched);
-    const std::vector<int> &unrolls = unrollFactors(bench);
 
     std::vector<std::shared_ptr<sim::KernelPlan>> plans;
     for (std::size_t i = 0; i < bench.loops.size(); ++i) {
@@ -163,20 +152,45 @@ ExperimentRunner::loopPlans(const workloads::Benchmark &bench,
         }
         plans.push_back(std::make_shared<sim::KernelPlan>(schedule));
     }
-    return planCache.emplace(key, std::move(plans)).first->second;
+    return plans;
+}
+
+const std::vector<int> &
+ExperimentRunner::unrollFactors(const workloads::Benchmark &bench)
+{
+    auto it = unrollCache.find(bench.name);
+    if (it != unrollCache.end())
+        return it->second;
+    return unrollCache
+        .emplace(bench.name, chooseUnrollFactors(bench))
+        .first->second;
+}
+
+const std::vector<std::shared_ptr<sim::KernelPlan>> &
+ExperimentRunner::loopPlans(const workloads::Benchmark &bench,
+                            const ArchSpec &arch)
+{
+    PlanKey key{bench.name, arch.label};
+    auto it = planCache.find(key);
+    if (it != planCache.end())
+        return it->second;
+    return planCache
+        .emplace(std::move(key),
+                 buildLoopPlans(bench, arch, unrollFactors(bench)))
+        .first->second;
 }
 
 BenchmarkRun
-ExperimentRunner::run(const workloads::Benchmark &bench,
-                      const ArchSpec &arch)
+runCell(const workloads::Benchmark &bench, const ArchSpec &arch,
+        const std::vector<int> &unrolls,
+        const std::vector<std::shared_ptr<sim::KernelPlan>> &plans,
+        const BenchmarkRun *baseline)
 {
     BenchmarkRun out;
     out.bench = bench.name;
     out.arch = arch.label;
 
     auto mem = mem::MemSystem::create(arch.config);
-    const std::vector<int> &unrolls = unrollFactors(bench);
-    const auto &plans = loopPlans(bench, arch);
 
     sim::SimOptions sim_opts;
     sim_opts.checkCoherence = true;
@@ -223,13 +237,24 @@ ExperimentRunner::run(const workloads::Benchmark &bench,
 
     // Scalar region: fixed share of the *baseline* loop time, identical
     // for every architecture (self-referential for the baseline run).
-    if (arch.label == "unified") {
+    if (baseline == nullptr) {
         out.scalarCycles = static_cast<std::uint64_t>(
             kScalarShare * (out.loopCompute + out.loopStall));
     } else {
-        out.scalarCycles = baseline(bench).scalarCycles;
+        out.scalarCycles = baseline->scalarCycles;
     }
     return out;
+}
+
+BenchmarkRun
+ExperimentRunner::run(const workloads::Benchmark &bench,
+                      const ArchSpec &arch)
+{
+    const std::vector<int> &unrolls = unrollFactors(bench);
+    const auto &plans = loopPlans(bench, arch);
+    const BenchmarkRun *base =
+        arch.label == "unified" ? nullptr : &baseline(bench);
+    return runCell(bench, arch, unrolls, plans, base);
 }
 
 const BenchmarkRun &

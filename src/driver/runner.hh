@@ -88,6 +88,39 @@ struct BenchmarkRun
     }
 };
 
+/**
+ * Reference-configuration unroll decision, one factor per loop of
+ * @p bench (the paper's "same loop unrolling heuristic ... for all
+ * three architectures"). Pure: depends only on the benchmark model.
+ */
+std::vector<int> chooseUnrollFactors(const workloads::Benchmark &bench);
+
+/**
+ * Compile @p bench's loops for @p arch with the given @p unrolls
+ * (from chooseUnrollFactors()), scheduling and validating each once.
+ * Pure apart from warn() on invalid schedules; the Suite executor
+ * calls this per worker, because a KernelPlan's scratch is not
+ * reentrant — one plan per thread.
+ */
+std::vector<std::shared_ptr<sim::KernelPlan>>
+buildLoopPlans(const workloads::Benchmark &bench, const ArchSpec &arch,
+               const std::vector<int> &unrolls);
+
+/**
+ * Execute one (benchmark, architecture) cell: every invocation of
+ * every loop against a fresh memory system, aggregated into a
+ * BenchmarkRun. @p baseline supplies the architecture-independent
+ * scalar-region cycles; pass null for the unified baseline itself
+ * (its scalar region is self-referential). Deterministic: the result
+ * is bit-identical no matter which thread or order runs it.
+ */
+BenchmarkRun runCell(const workloads::Benchmark &bench,
+                     const ArchSpec &arch,
+                     const std::vector<int> &unrolls,
+                     const std::vector<std::shared_ptr<sim::KernelPlan>>
+                         &plans,
+                     const BenchmarkRun *baseline);
+
 /** Runs benchmarks under architectures with cached baselines. */
 class ExperimentRunner
 {
@@ -110,6 +143,23 @@ class ExperimentRunner
                            const BenchmarkRun &r);
 
   private:
+    /**
+     * (benchmark, architecture) plan-cache key. ArchSpec labels must
+     * uniquely identify the machine config + scheduler options they
+     * carry — all the ArchSpec factories guarantee that.
+     */
+    struct PlanKey
+    {
+        std::string bench;
+        std::string arch;
+
+        bool
+        operator<(const PlanKey &o) const
+        {
+            return bench != o.bench ? bench < o.bench : arch < o.arch;
+        }
+    };
+
     /** Reference-config unroll decision per loop, cached. */
     const std::vector<int> &
     unrollFactors(const workloads::Benchmark &bench);
@@ -117,17 +167,22 @@ class ExperimentRunner
     /**
      * Compiled kernel plans of @p bench under @p arch, one per loop,
      * scheduled and validated once and then reused across every
-     * invocation (and every repeated run() of the same pair). Keyed by
-     * (bench.name, arch.label): ArchSpec labels must uniquely identify
-     * the machine config + scheduler options they carry — all the
-     * ArchSpec factories guarantee that.
+     * invocation (and every repeated run() of the same pair).
+     *
+     * The cached vectors hold shared_ptrs, so once a runner stops
+     * being mutated (no further run()/baseline() calls that could
+     * insert) the cache can be read concurrently and plan vectors
+     * handed out by copy — but each KernelPlan's scratch is still
+     * single-threaded; never run one plan from two threads. The Suite
+     * executor therefore builds its plans per worker with
+     * buildLoopPlans() instead of sharing these.
      */
     const std::vector<std::shared_ptr<sim::KernelPlan>> &
     loopPlans(const workloads::Benchmark &bench, const ArchSpec &arch);
 
     std::map<std::string, std::vector<int>> unrollCache;
     std::map<std::string, BenchmarkRun> baselineCache;
-    std::map<std::string, std::vector<std::shared_ptr<sim::KernelPlan>>>
+    std::map<PlanKey, std::vector<std::shared_ptr<sim::KernelPlan>>>
         planCache;
 };
 

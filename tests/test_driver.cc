@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Experiment-engine suite: the parallel executor must be bit-identical
+ * to serial execution and to the pre-redesign hand-rolled driver loop
+ * (ExperimentRunner::run in a double loop) across every registered
+ * ArchSpec — every BenchmarkRun field, every memory statistic, and
+ * every derived metric. Plus the arch registry's label grammar and the
+ * typed result sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/result_sink.hh"
+#include "driver/cli.hh"
+#include "driver/registry.hh"
+#include "driver/runner.hh"
+#include "driver/suite.hh"
+#include "workloads/workload.hh"
+
+using namespace l0vliw;
+using driver::ArchSpec;
+
+namespace
+{
+
+/** A small but representative benchmark subset (jpegdec stresses the
+ *  prefetch-eviction pathology, epicdec the specialization path). */
+std::vector<std::string>
+testBenchmarks()
+{
+    return {"epicdec", "gsmdec", "jpegdec"};
+}
+
+/** All BenchmarkRun fields must match exactly, stats included. */
+void
+expectRunsEqual(const driver::BenchmarkRun &a,
+                const driver::BenchmarkRun &b)
+{
+    EXPECT_EQ(a.bench, b.bench);
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_EQ(a.loopCompute, b.loopCompute);
+    EXPECT_EQ(a.loopStall, b.loopStall);
+    EXPECT_EQ(a.scalarCycles, b.scalarCycles);
+    EXPECT_EQ(a.memAccesses, b.memAccesses);
+    EXPECT_EQ(a.coherenceViolations, b.coherenceViolations);
+    EXPECT_EQ(a.l0Hits, b.l0Hits);
+    EXPECT_EQ(a.l0Misses, b.l0Misses);
+    EXPECT_EQ(a.fillsLinear, b.fillsLinear);
+    EXPECT_EQ(a.fillsInterleaved, b.fillsInterleaved);
+    // avgUnroll is a double computed from identical integer inputs in
+    // identical order: bit-equality is the contract.
+    EXPECT_EQ(a.avgUnroll, b.avgUnroll);
+    EXPECT_EQ(a.memStats.all(), b.memStats.all());
+}
+
+driver::ExperimentSpec
+fullRegistrySpec()
+{
+    driver::ExperimentSpec spec;
+    spec.benchmarks = testBenchmarks();
+    spec.archs = driver::archRegistry().names();
+    for (std::size_t a = 0; a < spec.archs.size(); ++a)
+        spec.columns.push_back(driver::normalizedColumn(
+            spec.archs[a], static_cast<int>(a)));
+    return spec;
+}
+
+} // namespace
+
+TEST(ArchRegistry, RegisteredLabelsRoundTrip)
+{
+    const auto &names = driver::archRegistry().names();
+    ASSERT_FALSE(names.empty());
+    for (const auto &name : names) {
+        ArchSpec spec = driver::archRegistry().resolve(name);
+        EXPECT_EQ(spec.label, name)
+            << "factory label must equal its registry name";
+    }
+}
+
+TEST(ArchRegistry, ParametricLabelsResolve)
+{
+    for (const char *label :
+         {"l0-12", "l0-6-pf2", "l0-4-psr", "l0-16-allcand", "l0-3-nl0",
+          "l0-unbounded-psr"}) {
+        auto spec = driver::archRegistry().tryResolve(label);
+        ASSERT_TRUE(spec.has_value()) << label;
+        EXPECT_EQ(spec->label, label);
+    }
+}
+
+TEST(ArchRegistry, AliasesAndUnknowns)
+{
+    EXPECT_EQ(driver::archRegistry().resolve("int1").label,
+              "interleaved-1");
+    EXPECT_EQ(driver::archRegistry().resolve("int2").label,
+              "interleaved-2");
+    for (const char *bad :
+         {"bogus", "l0-", "l0-x", "l0-0", "l0-8-pfx", "l0-8-wat"})
+        EXPECT_FALSE(driver::archRegistry().tryResolve(bad).has_value())
+            << bad;
+}
+
+TEST(Suite, ParallelBitIdenticalToSerial)
+{
+    driver::Suite suite(fullRegistrySpec());
+    driver::ResultGrid serial = suite.run(1);
+    driver::ResultGrid parallel = suite.run(8);
+
+    ASSERT_EQ(serial.numBenches(), parallel.numBenches());
+    ASSERT_EQ(serial.numArchs(), parallel.numArchs());
+    for (std::size_t b = 0; b < serial.numBenches(); ++b) {
+        expectRunsEqual(serial.baseline(b), parallel.baseline(b));
+        for (std::size_t a = 0; a < serial.numArchs(); ++a) {
+            const driver::Cell &s = serial.cell(b, a);
+            const driver::Cell &p = parallel.cell(b, a);
+            expectRunsEqual(s.run, p.run);
+            EXPECT_EQ(s.normalized, p.normalized);
+            EXPECT_EQ(s.normalizedStall, p.normalizedStall);
+        }
+    }
+
+    // The rendered tables (formatted strings) must match too.
+    EXPECT_EQ(renderText(serial.render()), renderText(parallel.render()));
+    EXPECT_EQ(renderCsv(serial.render()), renderCsv(parallel.render()));
+    EXPECT_EQ(renderJson(serial.render()), renderJson(parallel.render()));
+}
+
+TEST(Suite, MatchesPreRedesignDriverLoop)
+{
+    driver::ExperimentSpec spec = fullRegistrySpec();
+    driver::Suite suite(spec);
+    driver::ResultGrid grid = suite.run(8);
+
+    // The loop every pre-engine driver hand-rolled.
+    driver::ExperimentRunner runner;
+    for (std::size_t b = 0; b < spec.benchmarks.size(); ++b) {
+        workloads::Benchmark bench =
+            workloads::makeBenchmark(spec.benchmarks[b]);
+        for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+            ArchSpec arch =
+                driver::archRegistry().resolve(spec.archs[a]);
+            driver::BenchmarkRun r = runner.run(bench, arch);
+            const driver::Cell &cell = grid.cell(b, a);
+            expectRunsEqual(r, cell.run);
+            EXPECT_EQ(runner.normalized(bench, r), cell.normalized);
+            EXPECT_EQ(runner.normalizedStall(bench, r),
+                      cell.normalizedStall);
+        }
+    }
+}
+
+TEST(Suite, UnifiedCellEqualsBaseline)
+{
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"gsmdec"};
+    spec.archs = {"unified", "l0-8"};
+    spec.columns = {driver::normalizedColumn("unified", 0),
+                    driver::normalizedColumn("l0-8", 1)};
+    driver::ResultGrid grid = driver::Suite(std::move(spec)).run(2);
+    expectRunsEqual(grid.cell(0, 0).run, grid.baseline(0));
+    EXPECT_EQ(grid.cell(0, 0).normalized, 1.0);
+}
+
+TEST(Suite, MeanRowAndRendering)
+{
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"gsmdec", "gsmenc"};
+    spec.archs = {"l0-8"};
+    spec.columns = {driver::normalizedColumn("norm", 0),
+                    driver::stallColumn("st", 0),
+                    driver::violationsColumn("viol")};
+    spec.meanRow = true;
+    driver::ResultGrid grid = driver::Suite(std::move(spec)).run(1);
+    ResultTable t = grid.render();
+
+    ASSERT_EQ(t.header.size(), 4u);
+    ASSERT_EQ(t.rows.size(), 3u); // 2 benchmarks + AMEAN
+    const auto &mean = t.rows.back();
+    EXPECT_EQ(mean[0].textValue(), "AMEAN");
+    double expect = (grid.cell(0, 0).normalized
+                     + grid.cell(1, 0).normalized) / 2;
+    EXPECT_EQ(mean[1].number(), expect);
+    EXPECT_EQ(mean[2].formatted(), ""); // stall: blank in mean row
+    EXPECT_EQ(mean[3].formatted(), "0"); // violations: literal zero
+}
+
+TEST(Suite, FilterSelectsBenchmarks)
+{
+    driver::ExperimentSpec spec;
+    spec.archs = {"l0-8"};
+    spec.columns = {driver::normalizedColumn("norm", 0)};
+    spec.filter("gsm");
+    ASSERT_EQ(spec.benchmarks.size(), 2u);
+    EXPECT_EQ(spec.benchmarks[0], "gsmdec");
+    EXPECT_EQ(spec.benchmarks[1], "gsmenc");
+}
+
+TEST(Sinks, FormattingMatchesTextTable)
+{
+    EXPECT_EQ(CellValue::fixed(0.8375, 2).formatted(), "0.84");
+    EXPECT_EQ(CellValue::percent(0.955, 1).formatted(), "95.5%");
+    EXPECT_EQ(CellValue::integer(42).formatted(), "42");
+    EXPECT_EQ(CellValue::text("x").formatted(), "x");
+}
+
+TEST(Sinks, CsvEscapesAndJsonTypes)
+{
+    ResultTable t;
+    t.title = "ti\"tle\n";
+    t.header = {"name", "v"};
+    t.rows = {{CellValue::text("a,b"), CellValue::fixed(0.5, 2)},
+              {CellValue::text("q\"q"), CellValue::integer(7)}};
+
+    std::string csv = renderCsv(t);
+    EXPECT_EQ(csv, "name,v\n\"a,b\",0.50\n\"q\"\"q\",7\n");
+
+    std::string json = renderJson(t);
+    EXPECT_NE(json.find("\"ti\\\"tle\\n\""), std::string::npos);
+    EXPECT_NE(json.find("[\"a,b\", 0.5]"), std::string::npos);
+    EXPECT_NE(json.find("[\"q\\\"q\", 7]"), std::string::npos);
+
+    std::string text = renderText(t);
+    EXPECT_NE(text.find("a,b   0.50"), std::string::npos);
+}
