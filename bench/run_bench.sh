@@ -3,21 +3,114 @@
 # to BENCH_micro.json at the repo root so successive PRs accumulate a
 # perf trajectory on the same machine.
 #
-# Usage: bench/run_bench.sh [extra google-benchmark args...]
+# Usage:
+#   bench/run_bench.sh [--smoke] [--out FILE] [extra google-benchmark args...]
+#       --smoke   reduced grid: 1 repetition, for CI smoke runs; writes
+#                 build-bench/BENCH_smoke.json unless --out is given
+#       --out F   write the JSON to F instead of the default
+#
+#   bench/run_bench.sh --diff OLD.json NEW.json [THRESHOLD_PCT]
+#       Compare two grid-JSON files benchmark by benchmark and print a
+#       per-benchmark delta table. Exits 1 when any benchmark regressed
+#       by more than THRESHOLD_PCT (default 10) — callers that want a
+#       report-only diff (the CI smoke-bench job) ignore the status.
 set -e
 
 repo=$(cd "$(dirname "$0")/.." && pwd)
 build="$repo/build-bench"
 
+if [ "$1" = "--diff" ]; then
+    old="$2"; new="$3"; threshold="${4:-10}"
+    if [ -z "$old" ] || [ -z "$new" ]; then
+        echo "usage: bench/run_bench.sh --diff OLD.json NEW.json [THRESHOLD_PCT]" >&2
+        exit 2
+    fi
+    exec python3 - "$old" "$new" "$threshold" <<'PYEOF'
+import json, sys
+
+old_path, new_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+NS_PER = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def load(path):
+    """name -> real_time in ns (real_time is reported in the
+    benchmark's own time_unit), preferring the _mean aggregate when the
+    file was written with --benchmark_report_aggregates_only."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "mean":
+                continue
+            name = name[: -len("_mean")] if name.endswith("_mean") else name
+        out[name] = float(b["real_time"]) * NS_PER.get(b.get("time_unit", "ns"), 1.0)
+    return out
+
+old, new = load(old_path), load(new_path)
+common = sorted(set(old) & set(new))
+if not common:
+    print("no common benchmarks between %s and %s" % (old_path, new_path))
+    sys.exit(2)
+
+width = max(len(n) for n in common)
+print("%-*s  %12s  %12s  %8s" % (width, "benchmark", "old(ns)", "new(ns)", "delta"))
+regressed = []
+for name in common:
+    delta = 100.0 * (new[name] - old[name]) / old[name]
+    flag = ""
+    if delta > threshold:
+        flag = "  <-- regression"
+        regressed.append(name)
+    print("%-*s  %12.0f  %12.0f  %+7.1f%%%s"
+          % (width, name, old[name], new[name], delta, flag))
+for name in sorted(set(old) - set(new)):
+    print("%-*s  only in %s" % (width, name, old_path))
+for name in sorted(set(new) - set(old)):
+    print("%-*s  only in %s" % (width, name, new_path))
+print("\n%d/%d benchmarks beyond +%.1f%% (positive = slower)"
+      % (len(regressed), len(common), threshold))
+sys.exit(1 if regressed else 0)
+PYEOF
+fi
+
+smoke=0
+out=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --smoke) smoke=1; shift ;;
+    --out) out="$2"; shift 2 ;;
+    *) break ;;
+    esac
+done
+if [ -z "$out" ]; then
+    if [ "$smoke" = 1 ]; then
+        out="$build/BENCH_smoke.json"
+    else
+        out="$repo/BENCH_micro.json"
+    fi
+fi
+
 cmake -B "$build" -S "$repo" -DL0VLIW_BENCH=ON \
       -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$build" --target micro_perf -j > /dev/null
 
-"$build/micro_perf" \
-    --benchmark_out="$repo/BENCH_micro.json" \
-    --benchmark_out_format=json \
-    --benchmark_repetitions=5 \
-    --benchmark_report_aggregates_only=true \
-    "$@"
+if [ "$smoke" = 1 ]; then
+    # Reduced grid: one repetition, no aggregates — enough to diff
+    # against the committed trajectory, cheap enough for every PR.
+    "$build/micro_perf" \
+        --benchmark_out="$out" \
+        --benchmark_out_format=json \
+        --benchmark_repetitions=1 \
+        "$@"
+else
+    "$build/micro_perf" \
+        --benchmark_out="$out" \
+        --benchmark_out_format=json \
+        --benchmark_repetitions=5 \
+        --benchmark_report_aggregates_only=true \
+        "$@"
+fi
 
-echo "wrote $repo/BENCH_micro.json"
+echo "wrote $out"

@@ -16,6 +16,7 @@
 
 #include "driver/cli.hh"
 #include "driver/suite.hh"
+#include "workloads/registry.hh"
 #include "workloads/stride_mix.hh"
 
 using namespace l0vliw;
@@ -27,7 +28,8 @@ main(int argc, char **argv)
     std::string name =
         cli.positional.empty() ? "gsmdec" : cli.positional[0];
 
-    workloads::Benchmark bench = workloads::makeBenchmark(name);
+    workloads::Benchmark bench =
+        workloads::workloadRegistry().resolve(name);
     workloads::StrideMix mix = workloads::measureStrideMix(bench);
 
     char title[256];
@@ -71,7 +73,5 @@ main(int argc, char **argv)
                                }),
     };
 
-    driver::Suite suite(std::move(spec));
-    suite.run(cli.jobs).emit(cli.format);
-    return 0;
+    return driver::runSuiteMain(std::move(spec), cli);
 }

@@ -6,7 +6,10 @@
  * behaves as it does in the paper-level figures.
  *
  * Usage: inspect_benchmark [benchmark] [arch] [--format=...]
- *   benchmark: one of the 13 Mediabench names   (default: epicdec)
+ *   benchmark: any label workloadRegistry() resolves — the 13
+ *         Mediabench names or a synthetic-family label such as
+ *         stream-4, stride-32x2, stencil2d-3, reduce-8, pchase-64,
+ *         rand-s7-12                              (default: epicdec)
  *   arch: any label archRegistry() resolves — unified, l0-N,
  *         l0-unbounded, multivliw, int1, int2, ...   (default: l0-8)
  */
@@ -23,6 +26,7 @@
 #include "mem/mem_system.hh"
 #include "sched/scheduler.hh"
 #include "sim/kernel_sim.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 using namespace l0vliw;
@@ -36,7 +40,8 @@ main(int argc, char **argv)
     std::string arch_name =
         cli.positional.size() < 2 ? "l0-8" : cli.positional[1];
 
-    workloads::Benchmark bench = workloads::makeBenchmark(bench_name);
+    workloads::Benchmark bench =
+        workloads::workloadRegistry().resolve(bench_name);
     driver::ArchSpec arch = driver::archRegistry().resolve(arch_name);
 
     // Reference unroll decisions (same rule the runner uses).

@@ -2,7 +2,9 @@
  * @file
  * The shared command line of every figure/table driver and example:
  *
- *   --filter=<substr>   keep only benchmarks whose name contains it
+ *   --filter=<substr>   keep only benchmarks whose label contains it
+ *                       (and, in arch-major grids, only matching
+ *                       architecture labels)
  *   --jobs=N            worker threads for Suite::run (default: all
  *                       hardware threads; results are bit-identical
  *                       for every value)

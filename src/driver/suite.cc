@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "workloads/registry.hh"
 
 namespace l0vliw::driver
 {
@@ -97,13 +98,26 @@ ExperimentSpec::filter(const std::string &pattern)
         return;
     if (benchmarks.empty())
         benchmarks = workloads::benchmarkNames();
-    std::vector<std::string> kept;
+    std::vector<std::string> keptBenches;
     for (const auto &name : benchmarks)
         if (name.find(pattern) != std::string::npos)
-            kept.push_back(name);
-    if (kept.empty())
-        fatal("--filter=%s matches no benchmark", pattern.c_str());
-    benchmarks = std::move(kept);
+            keptBenches.push_back(name);
+    // Arch labels are only filterable when rows enumerate them: a
+    // benchmark-major grid's columns index into `archs`, so dropping
+    // labels there would silently rebind every column.
+    std::vector<std::string> keptArchs;
+    if (rows == RowAxis::Archs)
+        for (const auto &label : archs)
+            if (label.find(pattern) != std::string::npos)
+                keptArchs.push_back(label);
+    if (keptBenches.empty() && keptArchs.empty())
+        fatal("--filter=%s matches no benchmark%s label",
+              pattern.c_str(),
+              rows == RowAxis::Archs ? " or architecture" : "");
+    if (!keptBenches.empty())
+        benchmarks = std::move(keptBenches);
+    if (!keptArchs.empty())
+        archs = std::move(keptArchs);
 }
 
 // ---- execution ----
@@ -114,7 +128,8 @@ Suite::Suite(ExperimentSpec spec)
     if (spec.benchmarks.empty())
         spec.benchmarks = workloads::benchmarkNames();
     for (const auto &name : spec.benchmarks)
-        state->benches.push_back(workloads::makeBenchmark(name));
+        state->benches.push_back(
+            workloads::workloadRegistry().resolve(name));
     for (const auto &label : spec.archs)
         state->archs.push_back(archRegistry().resolve(label));
     if (spec.rows == RowAxis::Archs && state->benches.size() != 1)

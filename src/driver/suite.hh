@@ -131,7 +131,9 @@ struct ExperimentSpec
     /** Emitted verbatim around the table by the text sink. */
     std::string title;
     std::string footer;
-    /** Benchmark names; empty = the full Mediabench suite. */
+    /** Benchmark labels, resolved through workloadRegistry() —
+     *  Mediabench names or the synthetic-family grammar; empty = the
+     *  full Mediabench suite. */
     std::vector<std::string> benchmarks;
     /** Architecture labels, resolved through archRegistry(). */
     std::vector<std::string> archs;
@@ -142,7 +144,12 @@ struct ExperimentSpec
     bool meanRow = false;
     std::string meanLabel = "AMEAN";
 
-    /** Keep only benchmarks whose name contains @p pattern. */
+    /**
+     * Keep only benchmarks whose label contains @p pattern; in an
+     * arch-major grid the pattern also narrows the architecture
+     * labels. An axis where nothing matches is left whole; fatal when
+     * neither axis matches.
+     */
     void filter(const std::string &pattern);
 };
 

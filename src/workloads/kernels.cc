@@ -7,10 +7,6 @@
 namespace l0vliw::workloads
 {
 
-namespace
-{
-
-/** Chain @p count ALU ops after @p input; returns the chain tail. */
 OpId
 chainAlu(ir::Loop &loop, OpId input, int int_ops, int fp_ops)
 {
@@ -36,7 +32,7 @@ chainAlu(ir::Loop &loop, OpId input, int int_ops, int fp_ops)
 
 ir::Operation
 makeLoad(int array, int elem_size, long stride, long offset,
-         const std::string &tag, bool strided = true)
+         const std::string &tag, bool strided)
 {
     ir::Operation op;
     op.kind = ir::OpKind::Load;
@@ -63,8 +59,6 @@ makeStore(int array, int elem_size, long stride, long offset,
     op.mem.strided = true;
     return op;
 }
-
-} // namespace
 
 ir::Loop
 streamMap(AddressSpace &as, const std::string &name, const StreamParams &p)

@@ -48,6 +48,20 @@ class AddressSpace
     Addr skew = 0;
 };
 
+/** Chain @p intOps integer then @p fpOps floating-point ops after
+ *  @p input; returns the chain tail. */
+OpId chainAlu(ir::Loop &loop, OpId input, int intOps, int fpOps = 0);
+
+/** A load of @p array with the given affine stream (strided = false
+ *  makes it an irregular, never-L0-candidate access). */
+ir::Operation makeLoad(int array, int elemSize, long strideElems,
+                       long offsetElems, const std::string &tag,
+                       bool strided = true);
+
+/** A strided store of @p array. */
+ir::Operation makeStore(int array, int elemSize, long strideElems,
+                        long offsetElems, const std::string &tag);
+
 /** Common knobs of the stream-shaped kernels. */
 struct StreamParams
 {

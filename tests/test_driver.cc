@@ -15,6 +15,7 @@
 #include "driver/registry.hh"
 #include "driver/runner.hh"
 #include "driver/suite.hh"
+#include "workloads/synthetic.hh"
 #include "workloads/workload.hh"
 
 using namespace l0vliw;
@@ -185,6 +186,52 @@ TEST(Suite, MeanRowAndRendering)
     EXPECT_EQ(mean[3].formatted(), "0"); // violations: literal zero
 }
 
+TEST(Suite, ParallelBitIdenticalOnSyntheticFamilies)
+{
+    // The same jobs=8 == jobs=1 contract, across every registered
+    // synthetic family and a parametric deep cut of each.
+    driver::ExperimentSpec spec;
+    spec.benchmarks = workloads::syntheticFamilyLabels();
+    for (const char *extra :
+         {"stride-64x3", "stencil2d-5", "reduce-16", "pchase-128",
+          "rand-s11-20"})
+        spec.benchmarks.push_back(extra);
+    spec.archs = {"unified", "l0-4", "l0-8", "l0-unbounded",
+                  "multivliw", "interleaved-2"};
+    for (std::size_t a = 0; a < spec.archs.size(); ++a)
+        spec.columns.push_back(driver::normalizedColumn(
+            spec.archs[a], static_cast<int>(a)));
+
+    driver::Suite suite(std::move(spec));
+    driver::ResultGrid serial = suite.run(1);
+    driver::ResultGrid parallel = suite.run(8);
+    ASSERT_EQ(serial.numBenches(), parallel.numBenches());
+    for (std::size_t b = 0; b < serial.numBenches(); ++b)
+        for (std::size_t a = 0; a < serial.numArchs(); ++a) {
+            expectRunsEqual(serial.cell(b, a).run,
+                            parallel.cell(b, a).run);
+            EXPECT_EQ(serial.cell(b, a).normalized,
+                      parallel.cell(b, a).normalized);
+            EXPECT_EQ(serial.cell(b, a).normalizedStall,
+                      parallel.cell(b, a).normalizedStall);
+        }
+    EXPECT_EQ(renderJson(serial.render()),
+              renderJson(parallel.render()));
+}
+
+TEST(Suite, SyntheticLabelsResolveInSpecs)
+{
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"stream-4", "pchase-64"};
+    spec.archs = {"l0-8"};
+    spec.columns = {driver::normalizedColumn("norm", 0)};
+    driver::ResultGrid grid = driver::Suite(std::move(spec)).run(1);
+    EXPECT_EQ(grid.bench(0).name, "stream-4");
+    EXPECT_EQ(grid.bench(1).name, "pchase-64");
+    for (std::size_t b = 0; b < grid.numBenches(); ++b)
+        EXPECT_GT(grid.cell(b, 0).run.totalCycles(), 0u);
+}
+
 TEST(Suite, FilterSelectsBenchmarks)
 {
     driver::ExperimentSpec spec;
@@ -194,6 +241,37 @@ TEST(Suite, FilterSelectsBenchmarks)
     ASSERT_EQ(spec.benchmarks.size(), 2u);
     EXPECT_EQ(spec.benchmarks[0], "gsmdec");
     EXPECT_EQ(spec.benchmarks[1], "gsmenc");
+}
+
+TEST(Suite, FilterSelectsArchLabelsInArchMajorGrids)
+{
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"gsmdec"};
+    spec.archs = {"unified", "l0-4", "l0-8", "multivliw"};
+    spec.rows = driver::RowAxis::Archs;
+    spec.columns = {driver::normalizedColumn("norm")};
+    spec.filter("l0-");
+    // No benchmark matches "l0-": the benchmark axis stays whole and
+    // the pattern narrows the architecture labels instead.
+    ASSERT_EQ(spec.benchmarks.size(), 1u);
+    ASSERT_EQ(spec.archs.size(), 2u);
+    EXPECT_EQ(spec.archs[0], "l0-4");
+    EXPECT_EQ(spec.archs[1], "l0-8");
+}
+
+TEST(Suite, FilterKeepsArchsInBenchMajorGrids)
+{
+    // A benchmark-major grid's columns index into `archs`, so the
+    // pattern must never narrow that axis.
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"l0ish-not-a-bench", "gsmdec"};
+    spec.archs = {"unified", "l0-8"};
+    spec.columns = {driver::normalizedColumn("u", 0),
+                    driver::normalizedColumn("l0", 1)};
+    spec.filter("l0");
+    ASSERT_EQ(spec.benchmarks.size(), 1u);
+    EXPECT_EQ(spec.benchmarks[0], "l0ish-not-a-bench");
+    EXPECT_EQ(spec.archs.size(), 2u);
 }
 
 TEST(Sinks, FormattingMatchesTextTable)

@@ -146,7 +146,7 @@ TEST(L0System, InterleavedFillScattersAllResidues)
 {
     MachineConfig cfg = MachineConfig::paperL0(8);
     L0MemSystem mem(cfg);
-    std::uint8_t out[2];
+    std::uint8_t out[4]; // sized for the 4-byte follow-up access
     // 2-byte access to element 0 from cluster 1: residue 0 -> cluster
     // 1, residue 1 -> cluster 2, residue 2 -> 3, residue 3 -> 0.
     auto miss = mem.access(
