@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "driver/executor.hh"
 #include "driver/suite.hh"
 #include "ir/loop.hh"
 #include "machine/machine_config.hh"
@@ -189,19 +190,68 @@ BM_SuiteSerial(benchmark::State &state)
 }
 BENCHMARK(BM_SuiteSerial)->Unit(benchmark::kMillisecond);
 
+/** The parallel grid under a given backend; registered from main()
+ *  under a backend-tagged name so trajectory entries recorded under
+ *  different executors never collide in a grid-JSON diff. */
 void
-BM_SuiteParallel(benchmark::State &state)
+BM_SuiteGrid(benchmark::State &state, driver::ExecBackend backend)
 {
     driver::Suite suite(suiteSpec());
-    const int jobs = static_cast<int>(state.range(0));
+    driver::ExecOptions exec;
+    exec.backend = backend;
+    exec.jobs = static_cast<int>(state.range(0));
     for (auto _ : state) {
-        driver::ResultGrid grid = suite.run(jobs);
+        driver::ResultGrid grid = suite.run(exec);
         benchmark::DoNotOptimize(grid.cell(0, 0).normalized);
     }
     state.SetItemsProcessed(state.iterations() * 16);
 }
-BENCHMARK(BM_SuiteParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/** The wire protocol's end-to-end cost: the same grid through a pool
+ *  of --cell-worker subprocesses (spawn + JSON both ways per cell). */
+void
+BM_SuiteSubprocess(benchmark::State &state)
+{
+    driver::Suite suite(suiteSpec());
+    driver::ExecOptions exec;
+    exec.backend = driver::ExecBackend::Subprocess;
+    exec.jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        driver::ResultGrid grid = suite.run(exec);
+        benchmark::DoNotOptimize(grid.cell(0, 0).normalized);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SuiteSubprocess)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/** Hand-rolled BENCHMARK_MAIN(): the subprocess suite benchmarks
+ *  re-execute this binary as their --cell-worker, which must win over
+ *  google-benchmark's flag parsing; and BM_SuiteParallel registers
+ *  dynamically so bench/run_bench.sh --executor (via L0VLIW_EXECUTOR)
+ *  tags its name with any non-default backend. */
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--cell-worker")
+            return driver::cellWorkerMain(stdin, stdout);
+    }
+
+    driver::ExecBackend backend = driver::execBackendFromEnv();
+    const char *name = backend == driver::ExecBackend::Subprocess
+                           ? "BM_SuiteParallel<subprocess>"
+                           : "BM_SuiteParallel";
+    for (int jobs : {2, 4})
+        ::benchmark::RegisterBenchmark(name, BM_SuiteGrid, backend)
+            ->Arg(jobs)
+            ->Unit(benchmark::kMillisecond);
+
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

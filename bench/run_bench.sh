@@ -4,10 +4,14 @@
 # perf trajectory on the same machine.
 #
 # Usage:
-#   bench/run_bench.sh [--smoke] [--out FILE] [extra google-benchmark args...]
+#   bench/run_bench.sh [--smoke] [--out FILE] [--executor inprocess|subprocess]
+#                      [extra google-benchmark args...]
 #       --smoke   reduced grid: 1 repetition, for CI smoke runs; writes
 #                 build-bench/BENCH_smoke.json unless --out is given
 #       --out F   write the JSON to F instead of the default
+#       --executor E  run the BM_Suite* grid benchmarks through the
+#                 given cell executor (exported as L0VLIW_EXECUTOR;
+#                 subprocess exercises the NDJSON wire protocol)
 #
 #   bench/run_bench.sh --diff OLD.json NEW.json [THRESHOLD_PCT]
 #       Compare two grid-JSON files benchmark by benchmark and print a
@@ -81,6 +85,13 @@ while [ $# -gt 0 ]; do
     case "$1" in
     --smoke) smoke=1; shift ;;
     --out) out="$2"; shift 2 ;;
+    --executor)
+        case "$2" in
+        inprocess|subprocess) ;;
+        *) echo "--executor wants inprocess|subprocess, got '$2'" >&2
+           exit 2 ;;
+        esac
+        L0VLIW_EXECUTOR="$2"; export L0VLIW_EXECUTOR; shift 2 ;;
     *) break ;;
     esac
 done

@@ -103,11 +103,13 @@ main(int argc, char **argv)
     }
     makeSink(cli.format)->write(t);
 
-    // Whole-benchmark summary via a 1x1 suite (normalised).
+    // Whole-benchmark summary via a 1x1 suite (normalised), through
+    // whatever executor the command line picked.
     driver::ExperimentSpec spec;
     spec.benchmarks = {bench_name};
     spec.archs = {arch.label};
-    driver::ResultGrid grid = driver::Suite(std::move(spec)).run(cli.jobs);
+    driver::ResultGrid grid =
+        driver::Suite(std::move(spec)).run(cli.exec());
     const driver::Cell &cell = grid.cell(0, 0);
     const driver::BenchmarkRun &r = cell.run;
     std::printf("\nnormalised execution time: %.3f (stall %.3f), "

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -24,35 +25,11 @@ CellValue::formatted() const
     return {};
 }
 
+// String escaping lives in common/json.hh, shared with the executor
+// wire protocol.
+
 namespace
 {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    out += '"';
-    for (unsigned char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
-            }
-        }
-    }
-    out += '"';
-    return out;
-}
 
 std::string
 csvEscape(const std::string &s)
@@ -76,7 +53,7 @@ CellValue::json() const
 {
     switch (kind_) {
     case Kind::Text:
-        return jsonEscape(text_);
+        return json::quote(text_);
     case Kind::Fixed:
     case Kind::Percent: {
         char buf[64];
@@ -138,12 +115,12 @@ renderJson(const ResultTable &t)
     std::ostringstream out;
     out << "{\n";
     if (!t.title.empty())
-        out << "  \"title\": " << jsonEscape(t.title) << ",\n";
+        out << "  \"title\": " << json::quote(t.title) << ",\n";
     if (!t.footer.empty())
-        out << "  \"footer\": " << jsonEscape(t.footer) << ",\n";
+        out << "  \"footer\": " << json::quote(t.footer) << ",\n";
     out << "  \"columns\": [";
     for (std::size_t i = 0; i < t.header.size(); ++i)
-        out << (i ? ", " : "") << jsonEscape(t.header[i]);
+        out << (i ? ", " : "") << json::quote(t.header[i]);
     out << "],\n  \"rows\": [\n";
     for (std::size_t r = 0; r < t.rows.size(); ++r) {
         out << "    [";

@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "driver/registry.hh"
+#include "workloads/registry.hh"
 
 namespace l0vliw::driver
 {
@@ -18,32 +20,87 @@ defaultJobs()
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int
+parseJobs(const std::string &val)
+{
+    char *end = nullptr;
+    long jobs = std::strtol(val.c_str(), &end, 10);
+    if (val.empty() || *end != '\0' || jobs < 1 || jobs > 4096)
+        fatal("--jobs wants a positive integer, got '%s'", val.c_str());
+    return static_cast<int>(jobs);
+}
+
+[[noreturn]] void
+printLabelsAndExit()
+{
+    std::printf("architectures (registered):\n");
+    for (const auto &name : archRegistry().names())
+        std::printf("  %s\n", name.c_str());
+    std::printf("architectures (parametric grammar):\n"
+                "  l0-<N> | l0-unbounded"
+                "  [-nl0 | -psr | -allcand | -pf<D>]\n");
+    std::printf("workloads (registered):\n");
+    for (const auto &name : workloads::workloadRegistry().names())
+        std::printf("  %s\n", name.c_str());
+    std::printf("workloads (parametric grammar):\n"
+                "  stream-<ops> | stride-<s>x<ops> | stencil2d-<w> | "
+                "reduce-<fan> | pchase-<s> | rand-s<seed>-<ops>\n");
+    std::exit(0);
+}
+
 } // namespace
 
 CliOptions
 parseCli(int argc, char **argv)
 {
+    // The hidden worker mode preempts everything: the process becomes
+    // an executor worker and never returns to the driver body.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--cell-worker")
+            std::exit(cellWorkerMain(stdin, stdout));
+    }
+
     CliOptions opts;
     opts.jobs = defaultJobs();
+    // The L0VLIW_EXECUTOR default is consulted (and validated) only
+    // when no --executor flag overrides it — see after the loop.
+    bool executorSet = false;
+
+    // Every value flag accepts --flag=value and --flag value. In the
+    // space form the next argv must not itself be a flag, or a
+    // forgotten value would silently swallow the following option.
+    auto valueOf = [&](int &i, const std::string &arg,
+                       const std::string &name) -> std::string {
+        if (arg.size() > name.size() && arg[name.size()] == '=')
+            return arg.substr(name.size() + 1);
+        if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)
+            fatal("%s wants a value (see --help)", name.c_str());
+        return argv[++i];
+    };
+    auto matches = [](const std::string &arg, const std::string &name) {
+        return arg == name || arg.rfind(name + "=", 0) == 0;
+    };
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--filter=", 0) == 0) {
-            opts.filter = arg.substr(9);
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            const char *val = arg.c_str() + 7;
-            char *end = nullptr;
-            long jobs = std::strtol(val, &end, 10);
-            if (*val == '\0' || *end != '\0' || jobs < 1
-                || jobs > 4096)
-                fatal("--jobs wants a positive integer, got '%s'",
-                      val);
-            opts.jobs = static_cast<int>(jobs);
-        } else if (arg.rfind("--format=", 0) == 0) {
-            opts.format = parseSinkFormat(arg.substr(9));
+        if (matches(arg, "--filter")) {
+            opts.filter = valueOf(i, arg, "--filter");
+        } else if (matches(arg, "--jobs")) {
+            opts.jobs = parseJobs(valueOf(i, arg, "--jobs"));
+        } else if (matches(arg, "--executor")) {
+            opts.executor =
+                parseExecBackend(valueOf(i, arg, "--executor"));
+            executorSet = true;
+        } else if (matches(arg, "--format")) {
+            opts.format = parseSinkFormat(valueOf(i, arg, "--format"));
+        } else if (arg == "--list") {
+            printLabelsAndExit();
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--filter=<substr>] [--jobs=N] "
-                "[--format=table|csv|json] [positional args]\n",
+                "usage: %s [--filter=<substr>] [--jobs=N]\n"
+                "          [--executor=inprocess|subprocess]\n"
+                "          [--format=table|csv|json] [--list]\n"
+                "          [positional args]\n",
                 argv[0]);
             std::exit(0);
         } else if (arg.rfind("--", 0) == 0) {
@@ -52,6 +109,8 @@ parseCli(int argc, char **argv)
             opts.positional.push_back(std::move(arg));
         }
     }
+    if (!executorSet)
+        opts.executor = execBackendFromEnv();
     return opts;
 }
 
@@ -60,7 +119,7 @@ runSuiteMain(ExperimentSpec spec, const CliOptions &cli)
 {
     spec.filter(cli.filter);
     Suite suite(std::move(spec));
-    suite.run(cli.jobs).emit(cli.format);
+    suite.run(cli.exec()).emit(cli.format);
     return 0;
 }
 

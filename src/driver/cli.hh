@@ -5,13 +5,26 @@
  *   --filter=<substr>   keep only benchmarks whose label contains it
  *                       (and, in arch-major grids, only matching
  *                       architecture labels)
- *   --jobs=N            worker threads for Suite::run (default: all
- *                       hardware threads; results are bit-identical
- *                       for every value)
+ *   --jobs=N            workers for Suite::run (default: all hardware
+ *                       threads; results are bit-identical for every
+ *                       value)
+ *   --executor=inprocess|subprocess
+ *                       where cells execute: worker threads in this
+ *                       process, or a pool of child processes speaking
+ *                       the NDJSON cell protocol (default: inprocess,
+ *                       overridable via L0VLIW_EXECUTOR)
  *   --format=table|csv|json   output sink (default: table)
+ *   --list              print every registered architecture and
+ *                       workload label (plus the parametric grammars)
+ *                       and exit
  *
+ * Every flag also accepts its value space-separated (--jobs 4).
  * Anything else is passed through as a positional argument (the
  * examples take benchmark/architecture names positionally).
+ *
+ * One hidden mode: --cell-worker turns the process into an executor
+ * worker (jobs on stdin, outcomes on stdout) — this is how the
+ * SubprocessExecutor re-executes any driver binary as its own worker.
  */
 
 #ifndef L0VLIW_DRIVER_CLI_HH
@@ -21,6 +34,7 @@
 #include <vector>
 
 #include "common/result_sink.hh"
+#include "driver/executor.hh"
 #include "driver/suite.hh"
 
 namespace l0vliw::driver
@@ -31,8 +45,19 @@ struct CliOptions
 {
     std::string filter;
     int jobs = 1;
+    ExecBackend executor = ExecBackend::InProcess;
     SinkFormat format = SinkFormat::Table;
     std::vector<std::string> positional;
+
+    /** The Suite execution options these flags select. */
+    ExecOptions
+    exec() const
+    {
+        ExecOptions e;
+        e.backend = executor;
+        e.jobs = jobs;
+        return e;
+    }
 };
 
 /** Parse argv (fatal on unknown --flags; --help prints usage). */
@@ -40,8 +65,8 @@ CliOptions parseCli(int argc, char **argv);
 
 /**
  * The whole body of a grid driver: apply the filter, execute the
- * suite on the requested jobs, emit through the requested sink.
- * Returns the process exit code.
+ * suite through the requested executor, emit through the requested
+ * sink. Returns the process exit code.
  */
 int runSuiteMain(ExperimentSpec spec, const CliOptions &cli);
 

@@ -1,0 +1,658 @@
+#include "driver/executor.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "driver/registry.hh"
+#include "workloads/registry.hh"
+
+namespace l0vliw::driver
+{
+
+// ---- backend selection ----
+
+ExecBackend
+parseExecBackend(const std::string &name)
+{
+    if (name == "inprocess")
+        return ExecBackend::InProcess;
+    if (name == "subprocess")
+        return ExecBackend::Subprocess;
+    fatal("unknown executor '%s' (expected inprocess|subprocess)",
+          name.c_str());
+}
+
+ExecBackend
+execBackendFromEnv()
+{
+    const char *env = std::getenv("L0VLIW_EXECUTOR");
+    if (env == nullptr || *env == '\0')
+        return ExecBackend::InProcess;
+    return parseExecBackend(env);
+}
+
+// ---- wire encoding ----
+
+namespace
+{
+
+void
+appendField(std::string &out, const char *key, std::uint64_t v)
+{
+    out += json::quote(key);
+    out += ':';
+    out += std::to_string(v);
+}
+
+/** Required typed member lookups; false sets @p error. */
+bool
+getU64(const json::Value &obj, const char *key, std::uint64_t &out,
+       std::string &error)
+{
+    const json::Value *v = obj.find(key);
+    // Strict: the token must be a plain non-negative integer —
+    // strtoull would silently wrap "-1" and truncate "1.5e3".
+    bool plain = v != nullptr && v->isNumber()
+                 && !v->numberToken().empty();
+    if (plain)
+        for (char c : v->numberToken())
+            plain &= c >= '0' && c <= '9';
+    if (!plain) {
+        error = std::string("missing or non-u64 field '") + key + "'";
+        return false;
+    }
+    errno = 0;
+    out = std::strtoull(v->numberToken().c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+        error = std::string("out-of-range u64 field '") + key + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+getDouble(const json::Value &obj, const char *key, double &out,
+          std::string &error)
+{
+    const json::Value *v = obj.find(key);
+    if (v == nullptr || !v->isNumber()) {
+        error = std::string("missing or non-numeric field '") + key + "'";
+        return false;
+    }
+    out = v->asDouble();
+    return true;
+}
+
+bool
+getString(const json::Value &obj, const char *key, std::string &out,
+          std::string &error)
+{
+    const json::Value *v = obj.find(key);
+    if (v == nullptr || !v->isString()) {
+        error = std::string("missing or non-string field '") + key + "'";
+        return false;
+    }
+    out = v->str();
+    return true;
+}
+
+void
+appendBenchmarkRun(std::string &out, const BenchmarkRun &run)
+{
+    out += '{';
+    out += "\"bench\":" + json::quote(run.bench);
+    out += ",\"arch\":" + json::quote(run.arch);
+    out += ',';
+    appendField(out, "loopCompute", run.loopCompute);
+    out += ',';
+    appendField(out, "loopStall", run.loopStall);
+    out += ',';
+    appendField(out, "scalarCycles", run.scalarCycles);
+    out += ',';
+    appendField(out, "memAccesses", run.memAccesses);
+    out += ',';
+    appendField(out, "coherenceViolations", run.coherenceViolations);
+    out += ",\"avgUnroll\":" + json::fromDouble(run.avgUnroll);
+    out += ',';
+    appendField(out, "l0Hits", run.l0Hits);
+    out += ',';
+    appendField(out, "l0Misses", run.l0Misses);
+    out += ',';
+    appendField(out, "fillsLinear", run.fillsLinear);
+    out += ',';
+    appendField(out, "fillsInterleaved", run.fillsInterleaved);
+    out += ",\"memStats\":{";
+    bool first = true;
+    for (const auto &kv : run.memStats.all()) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendField(out, kv.first.c_str(), kv.second);
+    }
+    out += "}}";
+}
+
+bool
+decodeBenchmarkRun(const json::Value &obj, BenchmarkRun &out,
+                   std::string &error)
+{
+    if (!obj.isObject()) {
+        error = "BenchmarkRun is not an object";
+        return false;
+    }
+    out = BenchmarkRun{};
+    if (!getString(obj, "bench", out.bench, error)
+        || !getString(obj, "arch", out.arch, error)
+        || !getU64(obj, "loopCompute", out.loopCompute, error)
+        || !getU64(obj, "loopStall", out.loopStall, error)
+        || !getU64(obj, "scalarCycles", out.scalarCycles, error)
+        || !getU64(obj, "memAccesses", out.memAccesses, error)
+        || !getU64(obj, "coherenceViolations", out.coherenceViolations,
+                   error)
+        || !getDouble(obj, "avgUnroll", out.avgUnroll, error)
+        || !getU64(obj, "l0Hits", out.l0Hits, error)
+        || !getU64(obj, "l0Misses", out.l0Misses, error)
+        || !getU64(obj, "fillsLinear", out.fillsLinear, error)
+        || !getU64(obj, "fillsInterleaved", out.fillsInterleaved, error))
+        return false;
+    const json::Value *stats = obj.find("memStats");
+    if (stats == nullptr || !stats->isObject()) {
+        error = "missing or non-object field 'memStats'";
+        return false;
+    }
+    for (const auto &kv : stats->members()) {
+        if (!kv.second.isNumber()) {
+            error = "non-numeric memStats counter '" + kv.first + "'";
+            return false;
+        }
+        out.memStats.set(kv.first, kv.second.asU64());
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+benchmarkRunToJson(const BenchmarkRun &run)
+{
+    std::string out;
+    appendBenchmarkRun(out, run);
+    return out;
+}
+
+bool
+benchmarkRunFromJson(const std::string &text, BenchmarkRun &out,
+                     std::string &error)
+{
+    std::optional<json::Value> doc = json::parse(text, &error);
+    if (!doc)
+        return false;
+    return decodeBenchmarkRun(*doc, out, error);
+}
+
+std::string
+CellJob::toJson() const
+{
+    std::string out = "{";
+    appendField(out, "id", id);
+    out += ",\"bench\":" + json::quote(bench);
+    out += ",\"arch\":" + json::quote(arch);
+    out += ",\"unrolls\":[";
+    for (std::size_t i = 0; i < unrolls.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(unrolls[i]);
+    }
+    out += "],\"baseline\":";
+    appendBenchmarkRun(out, baseline);
+    out += '}';
+    return out;
+}
+
+bool
+CellJob::fromJson(const std::string &text, CellJob &out,
+                  std::string &error)
+{
+    std::optional<json::Value> doc = json::parse(text, &error);
+    if (!doc)
+        return false;
+    if (!doc->isObject()) {
+        error = "CellJob is not an object";
+        return false;
+    }
+    out = CellJob{};
+    if (!getU64(*doc, "id", out.id, error)
+        || !getString(*doc, "bench", out.bench, error)
+        || !getString(*doc, "arch", out.arch, error))
+        return false;
+    const json::Value *unrolls = doc->find("unrolls");
+    if (unrolls == nullptr || !unrolls->isArray()) {
+        error = "missing or non-array field 'unrolls'";
+        return false;
+    }
+    for (const auto &u : unrolls->items()) {
+        if (!u.isNumber()) {
+            error = "non-numeric unroll factor";
+            return false;
+        }
+        out.unrolls.push_back(static_cast<int>(u.asI64()));
+    }
+    const json::Value *baseline = doc->find("baseline");
+    if (baseline == nullptr) {
+        error = "missing field 'baseline'";
+        return false;
+    }
+    return decodeBenchmarkRun(*baseline, out.baseline, error);
+}
+
+std::string
+CellOutcome::toJson() const
+{
+    std::string out = "{";
+    appendField(out, "id", id);
+    out += ",\"ok\":";
+    out += ok ? "true" : "false";
+    if (!error.empty())
+        out += ",\"error\":" + json::quote(error);
+    out += ",\"run\":";
+    appendBenchmarkRun(out, run);
+    out += '}';
+    return out;
+}
+
+bool
+CellOutcome::fromJson(const std::string &text, CellOutcome &out,
+                      std::string &error)
+{
+    std::optional<json::Value> doc = json::parse(text, &error);
+    if (!doc)
+        return false;
+    if (!doc->isObject()) {
+        error = "CellOutcome is not an object";
+        return false;
+    }
+    out = CellOutcome{};
+    if (!getU64(*doc, "id", out.id, error))
+        return false;
+    const json::Value *ok = doc->find("ok");
+    if (ok == nullptr || !ok->isBool()) {
+        error = "missing or non-bool field 'ok'";
+        return false;
+    }
+    out.ok = ok->boolean();
+    if (const json::Value *err = doc->find("error"))
+        out.error = err->isString() ? err->str() : std::string();
+    const json::Value *run = doc->find("run");
+    if (run == nullptr) {
+        error = "missing field 'run'";
+        return false;
+    }
+    return decodeBenchmarkRun(*run, out.run, error);
+}
+
+// ---- the worker body ----
+
+CellOutcome
+executeCellJob(const CellJob &job)
+{
+    CellOutcome out;
+    out.id = job.id;
+
+    std::optional<workloads::Benchmark> bench =
+        workloads::workloadRegistry().tryResolve(job.bench);
+    if (!bench) {
+        out.error = "unknown benchmark label '" + job.bench + "'";
+        return out;
+    }
+    std::optional<ArchSpec> arch = archRegistry().tryResolve(job.arch);
+    if (!arch) {
+        out.error = "unknown architecture label '" + job.arch + "'";
+        return out;
+    }
+    if (job.unrolls.size() != bench->loops.size()) {
+        out.error = "job has " + std::to_string(job.unrolls.size())
+                    + " unroll factors for " + job.bench + "'s "
+                    + std::to_string(bench->loops.size()) + " loops";
+        return out;
+    }
+
+    auto plans = buildLoopPlans(*bench, *arch, job.unrolls);
+    out.run = runCell(*bench, *arch, job.unrolls, plans, &job.baseline);
+    out.ok = true;
+    return out;
+}
+
+// ---- in-process backend ----
+
+namespace
+{
+
+/** Run @p work on min(jobs, tasks) threads (<= 1 runs inline). Every
+ *  worker loops over a shared work-stealing index inside @p work. */
+template <typename Fn>
+void
+runOnPool(int jobs, std::size_t tasks, const Fn &work)
+{
+    std::size_t workers =
+        jobs <= 1 ? 1 : std::min<std::size_t>(jobs, tasks);
+    if (workers <= 1) {
+        work();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(work);
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace
+
+std::vector<CellOutcome>
+InProcessExecutor::execute(const std::vector<CellJob> &jobs)
+{
+    std::vector<CellOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    std::atomic<std::size_t> next{0};
+    runOnPool(opts_.jobs, jobs.size(), [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                break;
+            outcomes[i] = executeCellJob(jobs[i]);
+        }
+    });
+    return outcomes;
+}
+
+// ---- subprocess backend ----
+
+namespace
+{
+
+/** One spawned --cell-worker child and its pipe endpoints. */
+struct Child
+{
+    pid_t pid = -1;
+    std::FILE *toChild = nullptr;   ///< parent writes jobs here
+    std::FILE *fromChild = nullptr; ///< parent reads outcomes here
+
+    bool alive() const { return pid > 0; }
+};
+
+void
+closeChild(Child &child)
+{
+    if (child.toChild)
+        std::fclose(child.toChild);
+    if (child.fromChild)
+        std::fclose(child.fromChild);
+    if (child.pid > 0) {
+        int status = 0;
+        waitpid(child.pid, &status, 0);
+    }
+    child = Child{};
+}
+
+/**
+ * fork/exec one worker. Pipe fds are O_CLOEXEC so a child spawned
+ * concurrently by another pool thread cannot inherit (and keep open)
+ * this child's endpoints — otherwise a dead worker's pipe would never
+ * read EOF in the parent.
+ */
+bool
+spawnChild(const std::vector<std::string> &command, Child &out,
+           std::string &error)
+{
+    int jobPipe[2] = {-1, -1}, resultPipe[2] = {-1, -1};
+    if (pipe2(jobPipe, O_CLOEXEC) != 0
+        || pipe2(resultPipe, O_CLOEXEC) != 0) {
+        error = std::string("pipe2: ") + std::strerror(errno);
+        if (jobPipe[0] >= 0) {
+            close(jobPipe[0]);
+            close(jobPipe[1]);
+        }
+        return false;
+    }
+
+    std::vector<char *> argv;
+    argv.reserve(command.size() + 1);
+    for (const auto &arg : command)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    // Flush stdio so buffered output is not duplicated into the child.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        error = std::string("fork: ") + std::strerror(errno);
+        close(jobPipe[0]);
+        close(jobPipe[1]);
+        close(resultPipe[0]);
+        close(resultPipe[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: jobs on stdin, outcomes on stdout, stderr inherited.
+        // Only async-signal-safe calls between fork and exec.
+        if (dup2(jobPipe[0], STDIN_FILENO) < 0
+            || dup2(resultPipe[1], STDOUT_FILENO) < 0)
+            _exit(127);
+        execv(argv[0], argv.data());
+        _exit(127);
+    }
+
+    close(jobPipe[0]);
+    close(resultPipe[1]);
+    out.pid = pid;
+    out.toChild = fdopen(jobPipe[1], "w");
+    out.fromChild = fdopen(resultPipe[0], "r");
+    if (out.toChild == nullptr || out.fromChild == nullptr) {
+        // Close the raw fds fdopen did not wrap, or the child never
+        // sees stdin EOF and closeChild's waitpid blocks forever.
+        if (out.toChild == nullptr)
+            close(jobPipe[1]);
+        if (out.fromChild == nullptr)
+            close(resultPipe[0]);
+        error = "fdopen failed";
+        closeChild(out);
+        return false;
+    }
+    return true;
+}
+
+/** Read one newline-terminated line; false on EOF/error. */
+bool
+readLine(std::FILE *f, std::string &out)
+{
+    out.clear();
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+        out += buf;
+        if (!out.empty() && out.back() == '\n') {
+            out.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+SubprocessExecutor::SubprocessExecutor(const ExecOptions &opts)
+    : opts_(opts)
+{
+    if (opts_.workerCommand.empty()) {
+        // Re-execute this binary in the shared CLI's hidden worker
+        // mode; every driver is its own worker.
+        opts_.workerCommand = {"/proc/self/exe", "--cell-worker"};
+    }
+    // A worker dying mid-write must surface as EPIPE, not kill us —
+    // but only take over the default disposition; a custom handler
+    // installed by the embedding program stays in place.
+    struct sigaction current;
+    if (sigaction(SIGPIPE, nullptr, &current) == 0
+        && current.sa_handler == SIG_DFL)
+        std::signal(SIGPIPE, SIG_IGN);
+}
+
+std::vector<CellOutcome>
+SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
+{
+    std::vector<CellOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> spawns{0}, respawns{0}, retries{0};
+
+    // One pool thread per child: each claims jobs off the shared
+    // index, streams them to its worker, and owns that worker's
+    // lifecycle (respawn on death, bounded retry of the in-flight
+    // job). Failures never throw across threads — they land in the
+    // job's outcome.
+    auto work = [&]() {
+        Child child;
+        bool everSpawned = false;
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                break;
+            const std::string line = jobs[i].toJson();
+
+            CellOutcome result;
+            std::string lastError = "worker never started";
+            bool done = false;
+            for (int attempt = 0; attempt <= opts_.maxRetries && !done;
+                 ++attempt) {
+                if (attempt > 0)
+                    retries.fetch_add(1);
+                if (!child.alive()) {
+                    std::string err;
+                    if (!spawnChild(opts_.workerCommand, child, err)) {
+                        lastError = err;
+                        continue;
+                    }
+                    spawns.fetch_add(1);
+                    if (everSpawned)
+                        respawns.fetch_add(1);
+                    everSpawned = true;
+                }
+
+                if (std::fputs(line.c_str(), child.toChild) < 0
+                    || std::fputc('\n', child.toChild) == EOF
+                    || std::fflush(child.toChild) != 0) {
+                    lastError = "worker died before accepting the job";
+                    closeChild(child);
+                    continue;
+                }
+
+                std::string reply;
+                if (!readLine(child.fromChild, reply)) {
+                    lastError = "worker died computing the cell";
+                    closeChild(child);
+                    continue;
+                }
+                std::string err;
+                if (!CellOutcome::fromJson(reply, result, err)) {
+                    lastError = "malformed worker reply: " + err;
+                    closeChild(child);
+                    continue;
+                }
+                if (result.id != jobs[i].id) {
+                    lastError = "worker replied to job "
+                                + std::to_string(result.id)
+                                + " instead of "
+                                + std::to_string(jobs[i].id);
+                    closeChild(child);
+                    continue;
+                }
+                done = true;
+            }
+
+            if (done) {
+                outcomes[i] = std::move(result);
+            } else {
+                outcomes[i].id = jobs[i].id;
+                outcomes[i].ok = false;
+                outcomes[i].error =
+                    "cell " + jobs[i].bench + "/" + jobs[i].arch
+                    + " failed after "
+                    + std::to_string(opts_.maxRetries + 1)
+                    + " attempts: " + lastError;
+            }
+        }
+        // EOF on the job pipe tells the worker to exit; reap it.
+        if (child.alive())
+            closeChild(child);
+    };
+
+    runOnPool(opts_.jobs, jobs.size(), work);
+
+    stats_.spawns += spawns.load();
+    stats_.respawns += respawns.load();
+    stats_.retries += retries.load();
+    return outcomes;
+}
+
+std::unique_ptr<Executor>
+makeExecutor(const ExecOptions &opts)
+{
+    switch (opts.backend) {
+    case ExecBackend::InProcess:
+        return std::make_unique<InProcessExecutor>(opts);
+    case ExecBackend::Subprocess:
+        return std::make_unique<SubprocessExecutor>(opts);
+    }
+    return nullptr;
+}
+
+// ---- the worker loop ----
+
+int
+cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter)
+{
+    if (exitAfter == 0)
+        _exit(3); // crash-path test hook: die before the first job
+
+    int handled = 0;
+    std::string line;
+    while (readLine(in, line)) {
+        if (line.empty())
+            continue;
+        CellJob job;
+        std::string err;
+        CellOutcome outcome;
+        if (CellJob::fromJson(line, job, err)) {
+            outcome = executeCellJob(job);
+        } else {
+            outcome.ok = false;
+            outcome.error = "malformed job: " + err;
+        }
+        std::string reply = outcome.toJson();
+        if (std::fputs(reply.c_str(), out) < 0
+            || std::fputc('\n', out) == EOF || std::fflush(out) != 0)
+            return 1; // parent went away
+        if (exitAfter > 0 && ++handled >= exitAfter)
+            _exit(3); // crash-path test hook
+    }
+    return 0;
+}
+
+} // namespace l0vliw::driver

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Transport-agnostic cell execution: the Suite describes *what* to
+ * run, an Executor decides *where and how*.
+ *
+ * The unit of work is one (benchmark, architecture) grid cell,
+ * described by a serializable CellJob — benchmark and architecture
+ * *labels* (resolved through workloadRegistry()/archRegistry() on the
+ * executing side, which is what makes cells addressable across a
+ * process boundary), the phase-0 unroll factors, and the unified
+ * baseline run the cell normalises against. The result is a
+ * CellOutcome carrying the full BenchmarkRun. Both value types have a
+ * lossless JSON encoding (common/json.hh): 64-bit counters decode
+ * from their raw tokens and doubles travel as %.17g, so a run that
+ * crossed a pipe is bit-identical to one computed in place.
+ *
+ * Two backends ship:
+ *
+ *  - InProcessExecutor: a work-stealing thread pool, the engine's
+ *    classic Suite::run(jobs) behaviour.
+ *  - SubprocessExecutor: a pool of `--cell-worker` child processes
+ *    (the shared driver CLI's hidden mode re-executing this binary),
+ *    fed newline-delimited JSON jobs over pipes. Worker death is
+ *    survived by respawning the child and retrying the job a bounded
+ *    number of times; a job that keeps killing its worker fails
+ *    cleanly in its outcome instead of sinking the grid.
+ *
+ * Every cell is a deterministic pure function of its job, so the two
+ * backends produce bit-identical grids for every jobs value
+ * (tests/test_executor.cc proves it across every registered ArchSpec).
+ */
+
+#ifndef L0VLIW_DRIVER_EXECUTOR_HH
+#define L0VLIW_DRIVER_EXECUTOR_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+
+namespace l0vliw::driver
+{
+
+/** Where cells execute. */
+enum class ExecBackend
+{
+    InProcess,  ///< worker threads in this process
+    Subprocess, ///< a pool of --cell-worker child processes
+};
+
+/** Parse "inprocess" | "subprocess" (fatal on anything else). */
+ExecBackend parseExecBackend(const std::string &name);
+
+/** The L0VLIW_EXECUTOR environment default (InProcess when unset). */
+ExecBackend execBackendFromEnv();
+
+/** How a Suite executes its cells (the drivers' --executor/--jobs). */
+struct ExecOptions
+{
+    ExecBackend backend = ExecBackend::InProcess;
+    /** Worker threads or worker processes (<= 1: one worker). */
+    int jobs = 1;
+    /** Subprocess: respawn-and-retry budget per job on worker death. */
+    int maxRetries = 2;
+    /**
+     * Subprocess: the worker command line. Empty means re-execute this
+     * binary via /proc/self/exe with the hidden --cell-worker flag —
+     * every driver built on the shared CLI is its own worker.
+     */
+    std::vector<std::string> workerCommand;
+};
+
+/** One serializable unit of grid work. */
+struct CellJob
+{
+    std::uint64_t id = 0;        ///< echoed back in the outcome
+    std::string bench;           ///< workloadRegistry() label
+    std::string arch;            ///< archRegistry() label
+    std::vector<int> unrolls;    ///< phase-0 decision, one per loop
+    /** The phase-0 unified baseline rides inside the job so workers
+     *  stay stateless (runCell() reads its scalar-region cycles). */
+    BenchmarkRun baseline;
+
+    /** One-line JSON encoding (no raw newlines). */
+    std::string toJson() const;
+    /** Decode; false leaves @p out unspecified and sets @p error. */
+    static bool fromJson(const std::string &text, CellJob &out,
+                         std::string &error);
+};
+
+/** The result of one CellJob. */
+struct CellOutcome
+{
+    std::uint64_t id = 0;
+    bool ok = false;
+    std::string error; ///< set when !ok
+    BenchmarkRun run;  ///< the full aggregated cell run
+
+    std::string toJson() const;
+    static bool fromJson(const std::string &text, CellOutcome &out,
+                         std::string &error);
+};
+
+/** Lossless BenchmarkRun JSON (every field, memStats included). */
+std::string benchmarkRunToJson(const BenchmarkRun &run);
+bool benchmarkRunFromJson(const std::string &text, BenchmarkRun &out,
+                          std::string &error);
+
+/**
+ * The worker body shared by every backend: resolve the job's labels
+ * through the registries, compile plans, run the cell. Label or shape
+ * errors come back as a failed outcome, not a crash.
+ */
+CellOutcome executeCellJob(const CellJob &job);
+
+/** Executes a batch of cell jobs; outcomes are positional. */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /**
+     * Execute every job; the returned vector is parallel to @p jobs
+     * (outcome i belongs to jobs[i]). Jobs may run in any order and
+     * concurrency, but every outcome is deterministic.
+     */
+    virtual std::vector<CellOutcome>
+    execute(const std::vector<CellJob> &jobs) = 0;
+};
+
+/** Today's thread pool behind the Executor interface. */
+class InProcessExecutor : public Executor
+{
+  public:
+    explicit InProcessExecutor(const ExecOptions &opts) : opts_(opts) {}
+    std::vector<CellOutcome>
+    execute(const std::vector<CellJob> &jobs) override;
+
+  private:
+    ExecOptions opts_;
+};
+
+/** A pool of --cell-worker children speaking NDJSON over pipes. */
+class SubprocessExecutor : public Executor
+{
+  public:
+    /** Worker-pool health counters (inspectable by tests). */
+    struct Stats
+    {
+        int spawns = 0;   ///< children started (initial + respawns)
+        int respawns = 0; ///< children restarted after dying
+        int retries = 0;  ///< jobs re-sent after a worker death
+    };
+
+    explicit SubprocessExecutor(const ExecOptions &opts);
+    std::vector<CellOutcome>
+    execute(const std::vector<CellJob> &jobs) override;
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    ExecOptions opts_;
+    Stats stats_;
+};
+
+std::unique_ptr<Executor> makeExecutor(const ExecOptions &opts);
+
+/**
+ * The hidden --cell-worker CLI mode: read one JSON CellJob per line
+ * from @p in, write one JSON CellOutcome per line to @p out (flushed
+ * per job), until EOF. Returns the process exit code.
+ *
+ * @p exitAfter is a test hook for the crash/retry path: >= 0 makes
+ * the worker _exit(3) after that many outcomes (0 dies immediately).
+ */
+int cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter = -1);
+
+} // namespace l0vliw::driver
+
+#endif // L0VLIW_DRIVER_EXECUTOR_HH

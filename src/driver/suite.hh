@@ -12,15 +12,18 @@
  *   spec.columns = {normalizedColumn("2e", 0), stallColumn("2e.st", 0),
  *                   ...};
  *   spec.meanRow = true;
- *   Suite(std::move(spec)).run(jobs).emit(SinkFormat::Table);
+ *   Suite(std::move(spec)).run(exec).emit(SinkFormat::Table);
  *
- * Threading contract: Suite::run(jobs) first computes (serially, in
- * suite order) the per-benchmark unroll factors and unified-baseline
- * runs, then dispatches the remaining cells to `jobs` workers. Each
- * worker constructs its own KernelPlans — a plan's scratch is not
- * reentrant, one plan per thread — and only reads the shared unroll /
- * baseline data, so results are bit-identical to serial execution for
- * every jobs value (tests/test_driver.cc proves it).
+ * Execution contract: Suite::run(const ExecOptions&) first computes
+ * (serially, in suite order) the per-benchmark unroll factors and
+ * unified-baseline runs, then turns every remaining cell into a
+ * serializable CellJob and hands the batch to an Executor
+ * (driver/executor.hh) — worker threads in this process or a pool of
+ * --cell-worker subprocesses. Phase-0 results ride inside each job,
+ * and each worker constructs its own KernelPlans — a plan's scratch
+ * is not reentrant, one plan per worker — so results are bit-identical
+ * for every (backend, jobs) combination (tests/test_driver.cc and
+ * tests/test_executor.cc prove it).
  */
 
 #ifndef L0VLIW_DRIVER_SUITE_HH
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "common/result_sink.hh"
+#include "driver/executor.hh"
 #include "driver/registry.hh"
 #include "driver/runner.hh"
 #include "workloads/workload.hh"
@@ -217,9 +221,16 @@ class Suite
     explicit Suite(ExperimentSpec spec);
 
     /**
-     * Execute every (benchmark, architecture) cell on @p jobs worker
-     * threads (<= 1 executes inline). Bit-identical results for every
-     * jobs value; see the threading contract above.
+     * Execute every (benchmark, architecture) cell through the
+     * executor @p exec selects (in-process thread pool or subprocess
+     * worker pool). Bit-identical results for every (backend, jobs)
+     * combination; see the execution contract above.
+     */
+    ResultGrid run(const ExecOptions &exec) const;
+
+    /**
+     * Deprecated shim for the pre-executor API: in-process execution
+     * on @p jobs worker threads. Prefer run(const ExecOptions&).
      */
     ResultGrid run(int jobs = 1) const;
 

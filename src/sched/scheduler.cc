@@ -54,7 +54,7 @@ class Attempt
             const SchedulerOptions &options, const ir::Loop &body, int ii,
             bool topo_order = false)
         : cfg(config), opts(options), loop(body), mrt(config, ii), _ii(ii),
-          topoOrder(topo_order),
+          slackII(ii), topoOrder(topo_order),
           latWork(body, config, options.memLoadLatency)
     {
     }
@@ -111,6 +111,9 @@ class Attempt
     ir::Loop loop;
     Mrt mrt;
     int _ii;
+    /** II the re-slack of item 10 runs at: _ii until an NL0 demotion
+     *  pushes recMII above it, then the re-derived feasible II. */
+    int slackII = 0;
     bool topoOrder;
 
     LatencyModel latWork;
@@ -580,7 +583,18 @@ Attempt::reassignLatencies()
 {
     if (!opts.l0Aware || !opts.selectiveL0)
         return;
-    slack = computeSlack(loop, latWork, _ii);
+    bool converged = true;
+    slack = computeSlack(loop, latWork, slackII, &converged);
+    if (!converged) {
+        // NL0 demotion raised recurrence latencies above what this
+        // attempt's II supports. Re-derive the minimum feasible II for
+        // the working latencies and order the remaining candidates at
+        // that II (the demoted loops still *schedule* at _ii — slack
+        // here only ranks L0-entry assignment) instead of warning on
+        // every relaxation.
+        slackII = std::max(slackII, recMii(loop, latWork));
+        slack = computeSlack(loop, latWork, slackII);
+    }
 
     std::vector<OpId> cands;
     for (const auto &op : loop.ops()) {
@@ -862,6 +876,20 @@ ModuloScheduler::schedule(const ir::Loop &input) const
         for (const auto &op : body.ops())
             if (isCandidate(op))
                 lat.setLoadLatency(op.id, cfg.l0Latency);
+        if (opts.coherence == CoherenceMode::ForceNL0) {
+            // Forced NL0 demotion is static: every tracked load+store
+            // set keeps its loads at the L1 latency. Re-derive the MII
+            // with those latencies up front instead of spinning
+            // attempts at IIs the demoted recurrences can never meet.
+            auto sets = ir::memoryDependentSets(body);
+            for (const auto &set : sets) {
+                if (set.size() <= 1 || !ir::setHasLoadAndStore(body, set))
+                    continue;
+                for (OpId id : set)
+                    if (body.op(id).kind == ir::OpKind::Load)
+                        lat.setLoadLatency(id, opts.memLoadLatency);
+            }
+        }
     }
     int ii = minII(body, cfg, lat);
     for (; ii <= opts.maxII; ++ii) {

@@ -8,11 +8,14 @@ namespace l0vliw::sched
 {
 
 SlackInfo
-computeSlack(const ir::Loop &loop, const LatencyModel &lat, int ii)
+computeSlack(const ir::Loop &loop, const LatencyModel &lat, int ii,
+             bool *converged)
 {
     const int n = loop.numOps();
     SlackInfo info;
     info.asap.assign(n, 0);
+    if (converged)
+        *converged = true;
 
     // Forward fixpoint for ASAP. With ii >= recMii every cycle has
     // non-positive total weight, so at most n rounds settle it.
@@ -29,8 +32,11 @@ computeSlack(const ir::Loop &loop, const LatencyModel &lat, int ii)
         if (!changed)
             break;
         if (round == n) {
-            warn("ASAP relaxation did not converge (II below recMII?) "
-                 "in loop %s", loop.name().c_str());
+            if (converged)
+                *converged = false;
+            else
+                warn("ASAP relaxation did not converge (II below "
+                     "recMII?) in loop %s", loop.name().c_str());
         }
     }
 

@@ -36,11 +36,15 @@ struct SlackInfo
 
 /**
  * Longest-path ASAP/ALAP with modulo edge weights
- * lat(e) - II*dist(e), relaxed to a fixpoint (the II must be feasible,
- * i.e. >= recMii, or the relaxation would diverge; we clamp and warn).
+ * lat(e) - II*dist(e), relaxed to a fixpoint. The II must be feasible
+ * (>= recMii under @p lat) or the relaxation diverges; we clamp after
+ * n+1 rounds either way. When @p converged is null a diverging
+ * relaxation warns; otherwise it only reports through the flag, so
+ * callers that expect infeasible IIs (the scheduler's post-demotion
+ * re-slack) can re-derive a feasible II instead of spamming warnings.
  */
 SlackInfo computeSlack(const ir::Loop &loop, const LatencyModel &lat,
-                       int ii);
+                       int ii, bool *converged = nullptr);
 
 /**
  * SMS-style ordering: seeded by the minimum-slack node, grown by

@@ -8,7 +8,13 @@
  * typed result sinks.
  */
 
+#include <cstdio>
+#include <optional>
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include "common/result_sink.hh"
 #include "driver/cli.hh"
@@ -272,6 +278,79 @@ TEST(Suite, FilterKeepsArchsInBenchMajorGrids)
     ASSERT_EQ(spec.benchmarks.size(), 1u);
     EXPECT_EQ(spec.benchmarks[0], "l0ish-not-a-bench");
     EXPECT_EQ(spec.archs.size(), 2u);
+}
+
+namespace
+{
+
+/** Capture a command's stdout (stderr dropped); empty optional when
+ *  the command could not run or exited nonzero. */
+std::optional<std::string>
+captureStdout(const std::string &cmd)
+{
+    std::FILE *pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+    if (pipe == nullptr)
+        return std::nullopt;
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    int status = pclose(pipe);
+    if (status != 0)
+        return std::nullopt;
+    return out;
+}
+
+} // namespace
+
+/**
+ * The PR's acceptance pin: for every bench driver binary,
+ * `--executor subprocess --jobs 4` must produce byte-identical
+ * table/CSV/JSON output to `--executor inprocess --jobs 1`. The
+ * drivers live next to this test in the build tree (ctest runs from
+ * there); narrow --filters keep the 8 x 3 x 2 matrix fast.
+ */
+TEST(DriverBinaries, SubprocessOutputBytesEqualInProcess)
+{
+    struct DriverCase
+    {
+        const char *binary;
+        const char *filter; ///< nullptr: no filter flag
+    };
+    const DriverCase drivers[] = {
+        {"fig5_l0_sizes", "gsmdec"},
+        {"fig6_mapping", "gsmdec"},
+        {"fig7_distributed", "gsmdec"},
+        {"fig8_synthetic", "stream-2"},
+        {"table1_strides", "gsm"},
+        {"table2_config", nullptr},
+        {"ablation_coherence", "gsmdec"},
+        {"ablation_prefetch", "epicdec"},
+    };
+
+    if (access(drivers[0].binary, X_OK) != 0)
+        GTEST_SKIP() << "driver binaries not in the working directory "
+                        "(run via ctest from the build tree)";
+
+    for (const DriverCase &d : drivers) {
+        std::string base = std::string("./") + d.binary;
+        if (d.filter)
+            base += std::string(" --filter=") + d.filter;
+        for (const char *format : {"table", "csv", "json"}) {
+            std::string fmt = std::string(" --format=") + format;
+            auto inproc = captureStdout(
+                base + " --executor inprocess --jobs 1" + fmt);
+            auto subproc = captureStdout(
+                base + " --executor subprocess --jobs 4" + fmt);
+            ASSERT_TRUE(inproc.has_value()) << base << fmt;
+            ASSERT_TRUE(subproc.has_value()) << base << fmt;
+            EXPECT_FALSE(inproc->empty()) << base << fmt;
+            EXPECT_EQ(*inproc, *subproc)
+                << d.binary << " --format=" << format
+                << ": subprocess output diverged from in-process";
+        }
+    }
 }
 
 TEST(Sinks, FormattingMatchesTextTable)

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * The executor API and its wire protocol: lossless JSON round-trips
+ * of CellJob/CellOutcome/BenchmarkRun (every field, StatSet and
+ * bit-exact doubles included), subprocess ≡ in-process bit-identity
+ * across every registered ArchSpec, and the worker-death retry path.
+ *
+ * This test carries its own main(): the SubprocessExecutor re-executes
+ * /proc/self/exe as a --cell-worker, so this binary doubles as its own
+ * worker (with a --crash-after=N hook for the death tests).
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "driver/executor.hh"
+#include "driver/registry.hh"
+#include "driver/runner.hh"
+#include "driver/suite.hh"
+#include "workloads/registry.hh"
+
+using namespace l0vliw;
+using driver::ArchSpec;
+using driver::CellJob;
+using driver::CellOutcome;
+using driver::ExecBackend;
+using driver::ExecOptions;
+
+namespace
+{
+
+/** All BenchmarkRun fields must match exactly, stats included. */
+void
+expectRunsEqual(const driver::BenchmarkRun &a,
+                const driver::BenchmarkRun &b)
+{
+    EXPECT_EQ(a.bench, b.bench);
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_EQ(a.loopCompute, b.loopCompute);
+    EXPECT_EQ(a.loopStall, b.loopStall);
+    EXPECT_EQ(a.scalarCycles, b.scalarCycles);
+    EXPECT_EQ(a.memAccesses, b.memAccesses);
+    EXPECT_EQ(a.coherenceViolations, b.coherenceViolations);
+    EXPECT_EQ(a.l0Hits, b.l0Hits);
+    EXPECT_EQ(a.l0Misses, b.l0Misses);
+    EXPECT_EQ(a.fillsLinear, b.fillsLinear);
+    EXPECT_EQ(a.fillsInterleaved, b.fillsInterleaved);
+    // Doubles travel as %.17g: bit-equality is the contract.
+    EXPECT_EQ(a.avgUnroll, b.avgUnroll);
+    EXPECT_EQ(a.memStats.all(), b.memStats.all());
+}
+
+/** A fully-populated run with adversarial values in every field. */
+driver::BenchmarkRun
+sampleRun()
+{
+    driver::BenchmarkRun r;
+    r.bench = "gsm\"dec\n"; // exercises string escaping
+    r.arch = "l0-8";
+    r.loopCompute = 123456789;
+    r.loopStall = 42;
+    r.scalarCycles = 7;
+    r.memAccesses = (1ULL << 62) + 12345; // past double's 53-bit window
+    r.coherenceViolations = 3;
+    r.avgUnroll = 0.1 + 0.2; // 0.30000000000000004: needs %.17g
+    r.l0Hits = 999;
+    r.l0Misses = 1;
+    r.fillsLinear = 0;
+    r.fillsInterleaved = 17;
+    r.memStats.set("l0_hits", 999);
+    r.memStats.set("weird key, \"quoted\"", 1ULL << 63);
+    r.memStats.set("zero", 0);
+    return r;
+}
+
+/** Phase-0 inputs for hand-built jobs: unrolls + unified baseline. */
+struct Phase0
+{
+    std::vector<int> unrolls;
+    driver::BenchmarkRun baseline;
+};
+
+Phase0
+phase0(const std::string &benchLabel)
+{
+    workloads::Benchmark bench =
+        workloads::workloadRegistry().resolve(benchLabel);
+    Phase0 out;
+    out.unrolls = driver::chooseUnrollFactors(bench);
+    ArchSpec uni = ArchSpec::unified();
+    auto plans = driver::buildLoopPlans(bench, uni, out.unrolls);
+    out.baseline =
+        driver::runCell(bench, uni, out.unrolls, plans, nullptr);
+    return out;
+}
+
+CellJob
+makeJob(std::uint64_t id, const std::string &bench,
+        const std::string &arch, const Phase0 &p0)
+{
+    CellJob job;
+    job.id = id;
+    job.bench = bench;
+    job.arch = arch;
+    job.unrolls = p0.unrolls;
+    job.baseline = p0.baseline;
+    return job;
+}
+
+ExecOptions
+subprocessOpts(int jobs, int crashAfter = -1)
+{
+    ExecOptions opts;
+    opts.backend = ExecBackend::Subprocess;
+    opts.jobs = jobs;
+    opts.workerCommand = {"/proc/self/exe", "--cell-worker"};
+    if (crashAfter >= 0)
+        opts.workerCommand.push_back("--crash-after="
+                                     + std::to_string(crashAfter));
+    return opts;
+}
+
+} // namespace
+
+// ---- common/json ----
+
+TEST(Json, ParsesScalarsAndStructure)
+{
+    auto doc = json::parse(
+        R"({"a": [1, -2.5, 1e3], "s": "x\n\"y\u0041", "t": true,)"
+        R"( "n": null})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    const json::Value *a = doc->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_EQ(a->items()[0].asU64(), 1u);
+    EXPECT_EQ(a->items()[1].asDouble(), -2.5);
+    EXPECT_EQ(a->items()[2].asDouble(), 1000.0);
+    EXPECT_EQ(doc->find("s")->str(), "x\n\"yA");
+    EXPECT_TRUE(doc->find("t")->boolean());
+    EXPECT_TRUE(doc->find("n")->isNull());
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+          "\"unterminated", "{\"k\":\"\\u12\"}", "nan"}) {
+        std::string err;
+        EXPECT_FALSE(json::parse(bad, &err).has_value()) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(Json, NumbersKeepRawTokens)
+{
+    auto doc = json::parse("[18446744073709551615, 0.1]");
+    ASSERT_TRUE(doc.has_value());
+    // Full 64-bit range survives (a double round-trip would not).
+    EXPECT_EQ(doc->items()[0].asU64(), 18446744073709551615ULL);
+    EXPECT_EQ(doc->items()[1].asDouble(), 0.1);
+}
+
+TEST(Json, DoubleFormatRoundTrips)
+{
+    for (double v : {0.1 + 0.2, 1.0 / 3.0, 1e-300, 12345.6789,
+                     2.2250738585072014e-308}) {
+        auto doc = json::parse(json::fromDouble(v));
+        ASSERT_TRUE(doc.has_value());
+        EXPECT_EQ(doc->asDouble(), v);
+    }
+}
+
+TEST(Json, QuoteEscapes)
+{
+    EXPECT_EQ(json::quote("a\"b\\c\n\x01"), "\"a\\\"b\\\\c\\n\\u0001\"");
+    auto doc = json::parse(json::quote("a\"b\\c\n\x01\t\r"));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->str(), "a\"b\\c\n\x01\t\r");
+}
+
+// ---- protocol round-trips ----
+
+TEST(Protocol, BenchmarkRunRoundTripsEveryField)
+{
+    driver::BenchmarkRun r = sampleRun();
+    std::string wire = driver::benchmarkRunToJson(r);
+    EXPECT_EQ(wire.find('\n'), std::string::npos)
+        << "wire encoding must stay newline-free";
+
+    driver::BenchmarkRun back;
+    std::string err;
+    ASSERT_TRUE(driver::benchmarkRunFromJson(wire, back, err)) << err;
+    expectRunsEqual(r, back);
+}
+
+TEST(Protocol, RealRunRoundTripsBitForBit)
+{
+    // A run the simulator actually produced, StatSet included.
+    workloads::Benchmark bench =
+        workloads::workloadRegistry().resolve("gsmdec");
+    Phase0 p0 = phase0("gsmdec");
+    ArchSpec arch = driver::archRegistry().resolve("l0-8");
+    auto plans = driver::buildLoopPlans(bench, arch, p0.unrolls);
+    driver::BenchmarkRun r = driver::runCell(bench, arch, p0.unrolls,
+                                             plans, &p0.baseline);
+
+    driver::BenchmarkRun back;
+    std::string err;
+    ASSERT_TRUE(driver::benchmarkRunFromJson(
+        driver::benchmarkRunToJson(r), back, err)) << err;
+    expectRunsEqual(r, back);
+}
+
+TEST(Protocol, CellJobRoundTrips)
+{
+    CellJob job;
+    job.id = 77;
+    job.bench = "stream-4";
+    job.arch = "l0-8-pf2";
+    job.unrolls = {1, 4, 2};
+    job.baseline = sampleRun();
+
+    CellJob back;
+    std::string err;
+    ASSERT_TRUE(CellJob::fromJson(job.toJson(), back, err)) << err;
+    EXPECT_EQ(back.id, 77u);
+    EXPECT_EQ(back.bench, "stream-4");
+    EXPECT_EQ(back.arch, "l0-8-pf2");
+    EXPECT_EQ(back.unrolls, (std::vector<int>{1, 4, 2}));
+    expectRunsEqual(job.baseline, back.baseline);
+}
+
+TEST(Protocol, CellOutcomeRoundTrips)
+{
+    CellOutcome ok;
+    ok.id = 5;
+    ok.ok = true;
+    ok.run = sampleRun();
+    CellOutcome back;
+    std::string err;
+    ASSERT_TRUE(CellOutcome::fromJson(ok.toJson(), back, err)) << err;
+    EXPECT_EQ(back.id, 5u);
+    EXPECT_TRUE(back.ok);
+    EXPECT_TRUE(back.error.empty());
+    expectRunsEqual(ok.run, back.run);
+
+    CellOutcome failed;
+    failed.id = 6;
+    failed.ok = false;
+    failed.error = "unknown benchmark label 'nope'";
+    ASSERT_TRUE(CellOutcome::fromJson(failed.toJson(), back, err))
+        << err;
+    EXPECT_EQ(back.id, 6u);
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, failed.error);
+}
+
+TEST(Protocol, DecodeRejectsMissingFields)
+{
+    CellJob job;
+    std::string err;
+    EXPECT_FALSE(CellJob::fromJson("{\"id\":1}", job, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(CellJob::fromJson("not json", job, err));
+
+    driver::BenchmarkRun run;
+    EXPECT_FALSE(driver::benchmarkRunFromJson(
+        "{\"bench\":\"x\",\"arch\":\"y\"}", run, err));
+
+    // Counters are strict u64s: negative or fractional tokens are
+    // protocol errors, not silent strtoull wrap/truncation.
+    std::string wire = driver::benchmarkRunToJson(sampleRun());
+    auto corrupt = [&wire](const std::string &from,
+                           const std::string &to) {
+        std::string c = wire;
+        c.replace(c.find(from), from.size(), to);
+        return c;
+    };
+    EXPECT_FALSE(driver::benchmarkRunFromJson(
+        corrupt("\"loopStall\":42", "\"loopStall\":-42"), run, err));
+    EXPECT_NE(err.find("loopStall"), std::string::npos);
+    EXPECT_FALSE(driver::benchmarkRunFromJson(
+        corrupt("\"loopStall\":42", "\"loopStall\":4.2e1"), run, err));
+    EXPECT_FALSE(driver::benchmarkRunFromJson(
+        corrupt("\"loopStall\":42",
+                "\"loopStall\":99999999999999999999999"), run, err));
+}
+
+// ---- executeCellJob (the worker body) ----
+
+TEST(ExecuteCellJob, ResolvesLabelsThroughRegistries)
+{
+    Phase0 p0 = phase0("gsmdec");
+    CellOutcome out =
+        driver::executeCellJob(makeJob(9, "gsmdec", "l0-8", p0));
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.id, 9u);
+    EXPECT_EQ(out.run.bench, "gsmdec");
+    EXPECT_EQ(out.run.arch, "l0-8");
+    EXPECT_GT(out.run.totalCycles(), 0u);
+    // Scalar cycles come from the baseline riding in the job.
+    EXPECT_EQ(out.run.scalarCycles, p0.baseline.scalarCycles);
+}
+
+TEST(ExecuteCellJob, FailsCleanlyOnBadJobs)
+{
+    Phase0 p0 = phase0("gsmdec");
+
+    CellOutcome out =
+        driver::executeCellJob(makeJob(1, "no-such-bench", "l0-8", p0));
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("no-such-bench"), std::string::npos);
+
+    out = driver::executeCellJob(makeJob(2, "gsmdec", "l0-bogus", p0));
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("l0-bogus"), std::string::npos);
+
+    CellJob shape = makeJob(3, "gsmdec", "l0-8", p0);
+    shape.unrolls.push_back(1);
+    out = driver::executeCellJob(shape);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("unroll"), std::string::npos);
+}
+
+// ---- subprocess ≡ in-process ----
+
+TEST(SubprocessExecutor, BitIdenticalToInProcessAcrossRegistry)
+{
+    // Every registered ArchSpec crosses the wire; the decoded runs
+    // must equal the in-process ones bit for bit.
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"gsmdec", "stream-4"};
+    spec.archs = driver::archRegistry().names();
+    for (std::size_t a = 0; a < spec.archs.size(); ++a)
+        spec.columns.push_back(driver::normalizedColumn(
+            spec.archs[a], static_cast<int>(a)));
+    driver::Suite suite(std::move(spec));
+
+    ExecOptions inproc;
+    inproc.jobs = 1;
+    driver::ResultGrid serial = suite.run(inproc);
+    driver::ResultGrid piped = suite.run(subprocessOpts(4));
+
+    ASSERT_EQ(serial.numBenches(), piped.numBenches());
+    ASSERT_EQ(serial.numArchs(), piped.numArchs());
+    for (std::size_t b = 0; b < serial.numBenches(); ++b) {
+        expectRunsEqual(serial.baseline(b), piped.baseline(b));
+        for (std::size_t a = 0; a < serial.numArchs(); ++a) {
+            expectRunsEqual(serial.cell(b, a).run, piped.cell(b, a).run);
+            EXPECT_EQ(serial.cell(b, a).normalized,
+                      piped.cell(b, a).normalized);
+            EXPECT_EQ(serial.cell(b, a).normalizedStall,
+                      piped.cell(b, a).normalizedStall);
+        }
+    }
+    EXPECT_EQ(renderText(serial.render()), renderText(piped.render()));
+    EXPECT_EQ(renderCsv(serial.render()), renderCsv(piped.render()));
+    EXPECT_EQ(renderJson(serial.render()), renderJson(piped.render()));
+}
+
+// ---- worker death ----
+
+TEST(SubprocessExecutor, RespawnsWorkersAndRetries)
+{
+    // Workers _exit(3) after every job: each completes, but the pool
+    // must respawn a child per job past the first.
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(makeJob(i, "gsmdec",
+                               i % 2 ? "l0-4" : "l0-8", p0));
+
+    driver::SubprocessExecutor exec(subprocessOpts(2, /*crashAfter=*/1));
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        EXPECT_EQ(outcomes[i].id, jobs[i].id);
+        EXPECT_EQ(outcomes[i].run.arch, jobs[i].arch);
+    }
+    // 4 jobs, workers die after each one: at least two extra spawns.
+    EXPECT_GT(exec.stats().respawns, 0);
+    EXPECT_GE(exec.stats().spawns, 4);
+}
+
+TEST(SubprocessExecutor, FailsCleanlyWhenWorkersAlwaysDie)
+{
+    // Workers die before accepting any job: the retry budget runs out
+    // and the outcome reports failure instead of hanging or crashing.
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs = {makeJob(0, "gsmdec", "l0-8", p0)};
+
+    ExecOptions opts = subprocessOpts(1, /*crashAfter=*/0);
+    opts.maxRetries = 1;
+    driver::SubprocessExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("failed after"),
+              std::string::npos)
+        << outcomes[0].error;
+    EXPECT_GE(exec.stats().retries, 1);
+}
+
+TEST(SubprocessExecutor, PropagatesInJobFailures)
+{
+    // A job the *worker* rejects (bad label) is not a worker death:
+    // no retries, the failure comes back through the outcome.
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs = {
+        makeJob(0, "gsmdec", "l0-8", p0),
+        makeJob(1, "no-such-bench", "l0-8", p0),
+    };
+    driver::SubprocessExecutor exec(subprocessOpts(1));
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_NE(outcomes[1].error.find("no-such-bench"),
+              std::string::npos);
+    EXPECT_EQ(exec.stats().retries, 0);
+}
+
+// ---- main: this binary is its own --cell-worker ----
+
+int
+main(int argc, char **argv)
+{
+    int crashAfter = -1;
+    bool worker = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--cell-worker")
+            worker = true;
+        else if (arg.rfind("--crash-after=", 0) == 0)
+            crashAfter = std::atoi(arg.c_str() + 14);
+    }
+    if (worker)
+        return driver::cellWorkerMain(stdin, stdout, crashAfter);
+
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
