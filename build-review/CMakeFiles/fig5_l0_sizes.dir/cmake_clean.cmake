@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_l0_sizes.dir/bench/fig5_l0_sizes.cpp.o"
+  "CMakeFiles/fig5_l0_sizes.dir/bench/fig5_l0_sizes.cpp.o.d"
+  "fig5_l0_sizes"
+  "fig5_l0_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_l0_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mapping.dir/bench/fig6_mapping.cpp.o"
+  "CMakeFiles/fig6_mapping.dir/bench/fig6_mapping.cpp.o.d"
+  "fig6_mapping"
+  "fig6_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

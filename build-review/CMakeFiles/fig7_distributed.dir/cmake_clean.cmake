@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_distributed.dir/bench/fig7_distributed.cpp.o"
+  "CMakeFiles/fig7_distributed.dir/bench/fig7_distributed.cpp.o.d"
+  "fig7_distributed"
+  "fig7_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_synthetic.dir/bench/fig8_synthetic.cpp.o"
+  "CMakeFiles/fig8_synthetic.dir/bench/fig8_synthetic.cpp.o.d"
+  "fig8_synthetic"
+  "fig8_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

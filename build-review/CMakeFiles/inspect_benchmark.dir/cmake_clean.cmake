@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_benchmark.dir/examples/inspect_benchmark.cpp.o"
+  "CMakeFiles/inspect_benchmark.dir/examples/inspect_benchmark.cpp.o.d"
+  "inspect_benchmark"
+  "inspect_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

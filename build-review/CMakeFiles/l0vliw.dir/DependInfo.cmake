@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/json.cc" "CMakeFiles/l0vliw.dir/src/common/json.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/common/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/l0vliw.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/result_sink.cc" "CMakeFiles/l0vliw.dir/src/common/result_sink.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/common/result_sink.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/l0vliw.dir/src/common/table.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/common/table.cc.o.d"
+  "/root/repo/src/driver/cli.cc" "CMakeFiles/l0vliw.dir/src/driver/cli.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/driver/cli.cc.o.d"
+  "/root/repo/src/driver/executor.cc" "CMakeFiles/l0vliw.dir/src/driver/executor.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/driver/executor.cc.o.d"
+  "/root/repo/src/driver/registry.cc" "CMakeFiles/l0vliw.dir/src/driver/registry.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/driver/registry.cc.o.d"
+  "/root/repo/src/driver/runner.cc" "CMakeFiles/l0vliw.dir/src/driver/runner.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/driver/runner.cc.o.d"
+  "/root/repo/src/driver/suite.cc" "CMakeFiles/l0vliw.dir/src/driver/suite.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/driver/suite.cc.o.d"
+  "/root/repo/src/ir/hints.cc" "CMakeFiles/l0vliw.dir/src/ir/hints.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/ir/hints.cc.o.d"
+  "/root/repo/src/ir/loop.cc" "CMakeFiles/l0vliw.dir/src/ir/loop.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/ir/loop.cc.o.d"
+  "/root/repo/src/ir/memdep.cc" "CMakeFiles/l0vliw.dir/src/ir/memdep.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/ir/memdep.cc.o.d"
+  "/root/repo/src/machine/machine_config.cc" "CMakeFiles/l0vliw.dir/src/machine/machine_config.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/machine/machine_config.cc.o.d"
+  "/root/repo/src/mem/backing.cc" "CMakeFiles/l0vliw.dir/src/mem/backing.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/mem/backing.cc.o.d"
+  "/root/repo/src/mem/interleaved.cc" "CMakeFiles/l0vliw.dir/src/mem/interleaved.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/mem/interleaved.cc.o.d"
+  "/root/repo/src/mem/l0_buffer.cc" "CMakeFiles/l0vliw.dir/src/mem/l0_buffer.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/mem/l0_buffer.cc.o.d"
+  "/root/repo/src/mem/l0_system.cc" "CMakeFiles/l0vliw.dir/src/mem/l0_system.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/mem/l0_system.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "CMakeFiles/l0vliw.dir/src/mem/mem_system.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/mem/mem_system.cc.o.d"
+  "/root/repo/src/mem/multivliw.cc" "CMakeFiles/l0vliw.dir/src/mem/multivliw.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/mem/multivliw.cc.o.d"
+  "/root/repo/src/mem/tag_cache.cc" "CMakeFiles/l0vliw.dir/src/mem/tag_cache.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/mem/tag_cache.cc.o.d"
+  "/root/repo/src/mem/unified.cc" "CMakeFiles/l0vliw.dir/src/mem/unified.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/mem/unified.cc.o.d"
+  "/root/repo/src/sched/coherence.cc" "CMakeFiles/l0vliw.dir/src/sched/coherence.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sched/coherence.cc.o.d"
+  "/root/repo/src/sched/mii.cc" "CMakeFiles/l0vliw.dir/src/sched/mii.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sched/mii.cc.o.d"
+  "/root/repo/src/sched/mrt.cc" "CMakeFiles/l0vliw.dir/src/sched/mrt.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sched/mrt.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "CMakeFiles/l0vliw.dir/src/sched/scheduler.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/sms.cc" "CMakeFiles/l0vliw.dir/src/sched/sms.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sched/sms.cc.o.d"
+  "/root/repo/src/sched/validate.cc" "CMakeFiles/l0vliw.dir/src/sched/validate.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sched/validate.cc.o.d"
+  "/root/repo/src/sim/address.cc" "CMakeFiles/l0vliw.dir/src/sim/address.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sim/address.cc.o.d"
+  "/root/repo/src/sim/kernel_plan.cc" "CMakeFiles/l0vliw.dir/src/sim/kernel_plan.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sim/kernel_plan.cc.o.d"
+  "/root/repo/src/sim/kernel_sim.cc" "CMakeFiles/l0vliw.dir/src/sim/kernel_sim.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/sim/kernel_sim.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "CMakeFiles/l0vliw.dir/src/workloads/kernels.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/mediabench.cc" "CMakeFiles/l0vliw.dir/src/workloads/mediabench.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/workloads/mediabench.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "CMakeFiles/l0vliw.dir/src/workloads/registry.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/stride_mix.cc" "CMakeFiles/l0vliw.dir/src/workloads/stride_mix.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/workloads/stride_mix.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "CMakeFiles/l0vliw.dir/src/workloads/synthetic.cc.o" "gcc" "CMakeFiles/l0vliw.dir/src/workloads/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

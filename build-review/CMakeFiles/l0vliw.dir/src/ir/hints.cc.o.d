@@ -1,0 +1,2 @@
+CMakeFiles/l0vliw.dir/src/ir/hints.cc.o: /root/repo/src/ir/hints.cc \
+ /usr/include/stdc-predef.h /root/repo/src/ir/hints.hh

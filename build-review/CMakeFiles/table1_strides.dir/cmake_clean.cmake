@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_strides.dir/bench/table1_strides.cpp.o"
+  "CMakeFiles/table1_strides.dir/bench/table1_strides.cpp.o.d"
+  "table1_strides"
+  "table1_strides.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_strides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

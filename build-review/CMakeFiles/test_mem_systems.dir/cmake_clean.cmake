@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_systems.dir/tests/test_mem_systems.cc.o"
+  "CMakeFiles/test_mem_systems.dir/tests/test_mem_systems.cc.o.d"
+  "test_mem_systems"
+  "test_mem_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

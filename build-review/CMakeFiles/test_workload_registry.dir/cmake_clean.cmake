@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_registry.dir/tests/test_workload_registry.cc.o"
+  "CMakeFiles/test_workload_registry.dir/tests/test_workload_registry.cc.o.d"
+  "test_workload_registry"
+  "test_workload_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build-review/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_driver "/root/repo/build-review/test_driver")
+set_tests_properties(test_driver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build-review/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_ir "/root/repo/build-review/test_ir")
+set_tests_properties(test_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_mem "/root/repo/build-review/test_mem")
+set_tests_properties(test_mem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_mem_systems "/root/repo/build-review/test_mem_systems")
+set_tests_properties(test_mem_systems PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_plan "/root/repo/build-review/test_plan")
+set_tests_properties(test_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_property "/root/repo/build-review/test_property")
+set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sched "/root/repo/build-review/test_sched")
+set_tests_properties(test_sched PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build-review/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_workload_registry "/root/repo/build-review/test_workload_registry")
+set_tests_properties(test_workload_registry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build-review/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_executor "/root/repo/build-review/test_executor")
+set_tests_properties(test_executor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;109;add_test;/root/repo/CMakeLists.txt;0;")
