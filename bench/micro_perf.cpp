@@ -10,6 +10,7 @@
 
 #include "driver/executor.hh"
 #include "driver/suite.hh"
+#include "net/server.hh"
 #include "ir/loop.hh"
 #include "machine/machine_config.hh"
 #include "mem/l0_buffer.hh"
@@ -190,9 +191,39 @@ BM_SuiteSerial(benchmark::State &state)
 }
 BENCHMARK(BM_SuiteSerial)->Unit(benchmark::kMillisecond);
 
+/**
+ * A --serve worker daemon on a loopback ephemeral port, started once
+ * and shared by every tcp-backend benchmark in this process (the
+ * protocol handler is exactly the daemon's). Its endpoint is what
+ * --connect would name.
+ */
+const std::string &
+loopbackDaemonEndpoint()
+{
+    static net::Server server;
+    static std::string endpoint = []() {
+        std::string error;
+        bool ok = server.start(
+            0,
+            [](const std::string &line) {
+                return std::optional<std::string>(
+                    driver::handleCellLine(line));
+            },
+            error);
+        if (!ok) {
+            std::fprintf(stderr, "loopback daemon: %s\n", error.c_str());
+            std::abort();
+        }
+        return "127.0.0.1:" + std::to_string(server.port());
+    }();
+    return endpoint;
+}
+
 /** The parallel grid under a given backend; registered from main()
  *  under a backend-tagged name so trajectory entries recorded under
- *  different executors never collide in a grid-JSON diff. */
+ *  different executors never collide in a grid-JSON diff. The tcp
+ *  backend runs state.range(0) connections into the in-process
+ *  loopback daemon. */
 void
 BM_SuiteGrid(benchmark::State &state, driver::ExecBackend backend)
 {
@@ -200,6 +231,9 @@ BM_SuiteGrid(benchmark::State &state, driver::ExecBackend backend)
     driver::ExecOptions exec;
     exec.backend = backend;
     exec.jobs = static_cast<int>(state.range(0));
+    if (backend == driver::ExecBackend::Tcp)
+        exec.endpoints.assign(static_cast<std::size_t>(exec.jobs),
+                              loopbackDaemonEndpoint());
     for (auto _ : state) {
         driver::ResultGrid grid = suite.run(exec);
         benchmark::DoNotOptimize(grid.cell(0, 0).normalized);
@@ -224,6 +258,26 @@ BM_SuiteSubprocess(benchmark::State &state)
 }
 BENCHMARK(BM_SuiteSubprocess)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/** The TCP transport's end-to-end cost: the same grid through a
+ *  loopback --serve daemon (connect + framing + JSON both ways per
+ *  cell) over state.range(0) concurrent connections. */
+void
+BM_SuiteTcp(benchmark::State &state)
+{
+    driver::Suite suite(suiteSpec());
+    driver::ExecOptions exec;
+    exec.backend = driver::ExecBackend::Tcp;
+    exec.jobs = static_cast<int>(state.range(0));
+    exec.endpoints.assign(static_cast<std::size_t>(exec.jobs),
+                          loopbackDaemonEndpoint());
+    for (auto _ : state) {
+        driver::ResultGrid grid = suite.run(exec);
+        benchmark::DoNotOptimize(grid.cell(0, 0).normalized);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SuiteTcp)->Arg(4)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 /** Hand-rolled BENCHMARK_MAIN(): the subprocess suite benchmarks
@@ -242,6 +296,8 @@ main(int argc, char **argv)
     driver::ExecBackend backend = driver::execBackendFromEnv();
     const char *name = backend == driver::ExecBackend::Subprocess
                            ? "BM_SuiteParallel<subprocess>"
+                       : backend == driver::ExecBackend::Tcp
+                           ? "BM_SuiteParallel<tcp>"
                            : "BM_SuiteParallel";
     for (int jobs : {2, 4})
         ::benchmark::RegisterBenchmark(name, BM_SuiteGrid, backend)

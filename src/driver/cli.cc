@@ -30,6 +30,34 @@ parseJobs(const std::string &val)
     return static_cast<int>(jobs);
 }
 
+std::uint16_t
+parsePort(const std::string &val)
+{
+    char *end = nullptr;
+    long port = std::strtol(val.c_str(), &end, 10);
+    if (val.empty() || *end != '\0' || port < 1 || port > 65535)
+        fatal("--serve wants a port in [1, 65535], got '%s'",
+              val.c_str());
+    return static_cast<std::uint16_t>(port);
+}
+
+/** Split a comma-separated endpoint list (empty entries dropped). */
+std::vector<std::string>
+splitEndpoints(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        std::size_t comma = list.find(',', begin);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > begin)
+            out.push_back(list.substr(begin, comma - begin));
+        begin = comma + 1;
+    }
+    return out;
+}
+
 [[noreturn]] void
 printLabelsAndExit()
 {
@@ -65,6 +93,9 @@ parseCli(int argc, char **argv)
     // The L0VLIW_EXECUTOR default is consulted (and validated) only
     // when no --executor flag overrides it — see after the loop.
     bool executorSet = false;
+    // --serve preempts the driver body like --cell-worker does, but
+    // its port value needs the normal flag machinery first.
+    int servePort = -1;
 
     // Every value flag accepts --flag=value and --flag value. In the
     // space form the next argv must not itself be a flag, or a
@@ -87,10 +118,17 @@ parseCli(int argc, char **argv)
             opts.filter = valueOf(i, arg, "--filter");
         } else if (matches(arg, "--jobs")) {
             opts.jobs = parseJobs(valueOf(i, arg, "--jobs"));
+            opts.jobsExplicit = true;
         } else if (matches(arg, "--executor")) {
             opts.executor =
                 parseExecBackend(valueOf(i, arg, "--executor"));
             executorSet = true;
+        } else if (matches(arg, "--connect")) {
+            opts.connect = splitEndpoints(valueOf(i, arg, "--connect"));
+        } else if (matches(arg, "--stream")) {
+            opts.stream = valueOf(i, arg, "--stream");
+        } else if (matches(arg, "--serve")) {
+            servePort = parsePort(valueOf(i, arg, "--serve"));
         } else if (matches(arg, "--format")) {
             opts.format = parseSinkFormat(valueOf(i, arg, "--format"));
         } else if (arg == "--list") {
@@ -98,8 +136,11 @@ parseCli(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--filter=<substr>] [--jobs=N]\n"
-                "          [--executor=inprocess|subprocess]\n"
+                "          [--executor=inprocess|subprocess|tcp]\n"
+                "          [--connect=host:port[,host:port...]]\n"
+                "          [--stream=<file|fd:N|->]\n"
                 "          [--format=table|csv|json] [--list]\n"
+                "          [--serve=<port>]\n"
                 "          [positional args]\n",
                 argv[0]);
             std::exit(0);
@@ -109,9 +150,63 @@ parseCli(int argc, char **argv)
             opts.positional.push_back(std::move(arg));
         }
     }
+    if (servePort > 0)
+        std::exit(cellDaemonMain(static_cast<std::uint16_t>(servePort)));
     if (!executorSet)
         opts.executor = execBackendFromEnv();
     return opts;
+}
+
+ExecOptions
+CliOptions::exec() const
+{
+    ExecOptions e;
+    e.backend = executor;
+    e.jobs = jobs;
+    e.endpoints = connect;
+    // --connect without the tcp backend would run the suite locally
+    // while *looking* distributed — a silently wrong measurement.
+    // (The L0VLIW_CONNECT env default is exempt: it is ambient.)
+    if (e.backend != ExecBackend::Tcp && !connect.empty())
+        fatal("--connect only applies to --executor tcp");
+    if (e.backend == ExecBackend::Tcp) {
+        if (e.endpoints.empty()) {
+            const char *env = std::getenv("L0VLIW_CONNECT");
+            if (env != nullptr && *env != '\0')
+                e.endpoints = splitEndpoints(env);
+            if (e.endpoints.empty())
+                fatal("--executor tcp needs --connect host:port[,host:"
+                      "port...] (or L0VLIW_CONNECT)");
+        }
+        // tcp parallelism is the connection count, and an explicit
+        // --jobs sets it: beyond the --connect list it replicates the
+        // endpoints round-robin, below it keeps only the first N (a
+        // throttle). The hardware-thread default says nothing about
+        // what the daemons can take and leaves the list as given.
+        if (jobsExplicit) {
+            std::size_t want = static_cast<std::size_t>(jobs);
+            std::size_t listed = e.endpoints.size();
+            if (want < listed)
+                e.endpoints.resize(want);
+            for (std::size_t i = listed; i < want; ++i)
+                e.endpoints.push_back(e.endpoints[i % listed]);
+        }
+    }
+    if (!stream.empty()) {
+        std::string error;
+        std::shared_ptr<OutcomeStream> sink =
+            OutcomeStream::open(stream, error);
+        if (sink == nullptr)
+            fatal("%s", error.c_str());
+        // The sink rides inside the callback, so its lifetime follows
+        // the ExecOptions copies into Suite::run/makeExecutor.
+        e.onOutcome = [sink](const CellJob &job,
+                             const CellOutcome &outcome,
+                             double wallMs) {
+            sink->write(job, outcome, wallMs);
+        };
+    }
+    return e;
 }
 
 int

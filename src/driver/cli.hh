@@ -7,12 +7,22 @@
  *                       architecture labels)
  *   --jobs=N            workers for Suite::run (default: all hardware
  *                       threads; results are bit-identical for every
- *                       value)
- *   --executor=inprocess|subprocess
+ *                       value). For --executor tcp an explicit N sets
+ *                       the connection count: beyond the --connect
+ *                       list it replicates the endpoints round-robin,
+ *                       below it keeps only the first N.
+ *   --executor=inprocess|subprocess|tcp
  *                       where cells execute: worker threads in this
- *                       process, or a pool of child processes speaking
- *                       the NDJSON cell protocol (default: inprocess,
+ *                       process, a pool of child processes, or remote
+ *                       --serve daemons — all speaking the NDJSON
+ *                       cell protocol (default: inprocess,
  *                       overridable via L0VLIW_EXECUTOR)
+ *   --connect=host:port[,host:port...]
+ *                       the worker daemons for --executor tcp, one
+ *                       connection per entry (env: L0VLIW_CONNECT)
+ *   --stream=<file|fd:N|->
+ *                       emit one NDJSON event per completed cell, as
+ *                       it completes, from any executor backend
  *   --format=table|csv|json   output sink (default: table)
  *   --list              print every registered architecture and
  *                       workload label (plus the parametric grammars)
@@ -22,9 +32,11 @@
  * Anything else is passed through as a positional argument (the
  * examples take benchmark/architecture names positionally).
  *
- * One hidden mode: --cell-worker turns the process into an executor
- * worker (jobs on stdin, outcomes on stdout) — this is how the
- * SubprocessExecutor re-executes any driver binary as its own worker.
+ * Two modes preempt the driver body: --cell-worker turns the process
+ * into a pipe-fed executor worker (jobs on stdin, outcomes on
+ * stdout) — how the SubprocessExecutor re-executes any driver binary
+ * as its own worker — and --serve <port> turns it into a TCP worker
+ * daemon answering the same protocol until SIGINT/SIGTERM.
  */
 
 #ifndef L0VLIW_DRIVER_CLI_HH
@@ -45,19 +57,28 @@ struct CliOptions
 {
     std::string filter;
     int jobs = 1;
+    /** True when --jobs was given (vs the hardware-thread default) —
+     *  the tcp backend widens its connection pool only on an
+     *  explicit ask. */
+    bool jobsExplicit = false;
     ExecBackend executor = ExecBackend::InProcess;
+    /** --connect endpoints for the tcp executor (host:port each). */
+    std::vector<std::string> connect;
+    /** --stream destination ("" = no event stream). */
+    std::string stream;
     SinkFormat format = SinkFormat::Table;
     std::vector<std::string> positional;
 
-    /** The Suite execution options these flags select. */
-    ExecOptions
-    exec() const
-    {
-        ExecOptions e;
-        e.backend = executor;
-        e.jobs = jobs;
-        return e;
-    }
+    /**
+     * The Suite execution options these flags select, --stream's
+     * event sink bound and ready (the sink rides inside onOutcome, so
+     * every caller of exec() gets it — not just runSuiteMain). For
+     * the tcp backend an empty --connect falls back to L0VLIW_CONNECT
+     * (fatal when still empty), and an explicit --jobs beyond the
+     * endpoint count replicates the list round-robin into that many
+     * connections.
+     */
+    ExecOptions exec() const;
 };
 
 /** Parse argv (fatal on unknown --flags; --help prints usage). */

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include <fcntl.h>
@@ -15,6 +18,9 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "driver/registry.hh"
+#include "net/framing.hh"
+#include "net/server.hh"
+#include "net/socket.hh"
 #include "workloads/registry.hh"
 
 namespace l0vliw::driver
@@ -29,7 +35,9 @@ parseExecBackend(const std::string &name)
         return ExecBackend::InProcess;
     if (name == "subprocess")
         return ExecBackend::Subprocess;
-    fatal("unknown executor '%s' (expected inprocess|subprocess)",
+    if (name == "tcp")
+        return ExecBackend::Tcp;
+    fatal("unknown executor '%s' (expected inprocess|subprocess|tcp)",
           name.c_str());
 }
 
@@ -338,6 +346,21 @@ executeCellJob(const CellJob &job)
 namespace
 {
 
+using ExecClock = std::chrono::steady_clock;
+
+/** Fire ExecOptions.onOutcome for a finished job, when set. */
+void
+emitOutcomeEvent(const ExecOptions &opts, const CellJob &job,
+                 const CellOutcome &outcome, ExecClock::time_point start)
+{
+    if (!opts.onOutcome)
+        return;
+    double wallMs =
+        std::chrono::duration<double, std::milli>(ExecClock::now() - start)
+            .count();
+    opts.onOutcome(job, outcome, wallMs);
+}
+
 /** Run @p work on min(jobs, tasks) threads (<= 1 runs inline). Every
  *  worker loops over a shared work-stealing index inside @p work. */
 template <typename Fn>
@@ -373,7 +396,9 @@ InProcessExecutor::execute(const std::vector<CellJob> &jobs)
             std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 break;
+            ExecClock::time_point start = ExecClock::now();
             outcomes[i] = executeCellJob(jobs[i]);
+            emitOutcomeEvent(opts_, jobs[i], outcomes[i], start);
         }
     });
     return outcomes;
@@ -383,6 +408,77 @@ InProcessExecutor::execute(const std::vector<CellJob> &jobs)
 
 namespace
 {
+
+// ---- graceful shutdown: no orphaned --cell-worker children ----
+//
+// SIGINT/SIGTERM while a subprocess pool is mid-suite must not leave
+// worker children behind (a worker blocked computing a cell never
+// notices its job pipe closing). Live children register in a fixed
+// lock-free table; the signal handler — async-signal-safe only:
+// kill/signal/raise — SIGKILLs every registered pid, restores the
+// default disposition, and re-raises so the process still dies with
+// the right status. The handlers are installed only over SIG_DFL; an
+// embedding program's own handlers stay in place (and inherit the
+// orphan problem knowingly).
+
+// Sized to parseJobs's 4096 ceiling so every spawnable worker fits.
+constexpr int kMaxTrackedChildren = 4096;
+std::atomic<pid_t> g_trackedChildren[kMaxTrackedChildren];
+
+void
+killTrackedChildrenHandler(int sig)
+{
+    for (auto &slot : g_trackedChildren) {
+        pid_t pid = slot.load(std::memory_order_relaxed);
+        if (pid > 0)
+            ::kill(pid, SIGKILL);
+    }
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void
+installChildKillHandlers()
+{
+    static std::once_flag once;
+    std::call_once(once, []() {
+        for (int sig : {SIGINT, SIGTERM}) {
+            struct sigaction current;
+            if (sigaction(sig, nullptr, &current) != 0
+                || current.sa_handler != SIG_DFL)
+                continue;
+            struct sigaction sa{};
+            sa.sa_handler = killTrackedChildrenHandler;
+            sigemptyset(&sa.sa_mask);
+            sigaction(sig, &sa, nullptr);
+        }
+    });
+}
+
+void
+trackChild(pid_t pid)
+{
+    for (auto &slot : g_trackedChildren) {
+        pid_t expected = 0;
+        if (slot.compare_exchange_strong(expected, pid))
+            return;
+    }
+    // Full table means this child escapes the kill-on-signal sweep —
+    // the no-orphans contract has a hole, so say so.
+    warn("child-kill table full: worker %ld will survive SIGINT/"
+         "SIGTERM",
+         static_cast<long>(pid));
+}
+
+void
+untrackChild(pid_t pid)
+{
+    for (auto &slot : g_trackedChildren) {
+        pid_t expected = pid;
+        if (slot.compare_exchange_strong(expected, 0))
+            return;
+    }
+}
 
 /** One spawned --cell-worker child and its pipe endpoints. */
 struct Child
@@ -397,6 +493,8 @@ struct Child
 void
 closeChild(Child &child)
 {
+    if (child.pid > 0)
+        untrackChild(child.pid);
     if (child.toChild)
         std::fclose(child.toChild);
     if (child.fromChild)
@@ -460,6 +558,7 @@ spawnChild(const std::vector<std::string> &command, Child &out,
 
     close(jobPipe[0]);
     close(resultPipe[1]);
+    trackChild(pid);
     out.pid = pid;
     out.toChild = fdopen(jobPipe[1], "w");
     out.fromChild = fdopen(resultPipe[0], "r");
@@ -510,6 +609,8 @@ SubprocessExecutor::SubprocessExecutor(const ExecOptions &opts)
     if (sigaction(SIGPIPE, nullptr, &current) == 0
         && current.sa_handler == SIG_DFL)
         std::signal(SIGPIPE, SIG_IGN);
+    // And ^C mid-suite must take the worker children down with us.
+    installChildKillHandlers();
 }
 
 std::vector<CellOutcome>
@@ -535,6 +636,7 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
             if (i >= jobs.size())
                 break;
             const std::string line = jobs[i].toJson();
+            ExecClock::time_point start = ExecClock::now();
 
             CellOutcome result;
             std::string lastError = "worker never started";
@@ -597,6 +699,7 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
                     + std::to_string(opts_.maxRetries + 1)
                     + " attempts: " + lastError;
             }
+            emitOutcomeEvent(opts_, jobs[i], outcomes[i], start);
         }
         // EOF on the job pipe tells the worker to exit; reap it.
         if (child.alive())
@@ -611,6 +714,250 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
     return outcomes;
 }
 
+// ---- tcp backend ----
+
+RemoteExecutor::RemoteExecutor(const ExecOptions &opts) : opts_(opts)
+{
+    if (opts_.endpoints.empty())
+        fatal("--executor tcp needs at least one --connect host:port "
+              "worker daemon");
+    for (const auto &ep : opts_.endpoints) {
+        net::HostPort hp;
+        std::string error;
+        if (!net::parseHostPort(ep, hp, error))
+            fatal("--connect: %s", error.c_str());
+    }
+}
+
+namespace
+{
+
+/**
+ * The shared job queue of a RemoteExecutor run. Claims come from the
+ * fresh index first, then from jobs re-queued by endpoints that gave
+ * up on them (retired endpoints). A claimer with nothing to take but
+ * with peers still mid-job *waits* — their jobs may yet come back —
+ * and only returns false once every job is finally resolved, so a
+ * healthy endpoint can pick up the entire load of a dead one.
+ */
+struct RemoteQueue
+{
+    explicit RemoteQueue(std::size_t total, int threads)
+        : reroutes_(total, 0),
+          firstDispatch_(total),
+          total_(total),
+          active_(threads)
+    {
+    }
+
+    /** Blocks until a job is claimable or everything is resolved. */
+    bool
+    claim(std::size_t &i)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (!requeued_.empty()) {
+                i = requeued_.back();
+                requeued_.pop_back();
+                ++working_;
+                return true;
+            }
+            if (nextIdx_ < total_) {
+                i = nextIdx_++;
+                ++working_;
+                firstDispatch_[i] = ExecClock::now();
+                return true;
+            }
+            if (working_ == 0)
+                return false;
+            cv_.wait(lock);
+        }
+    }
+
+    /** When job @p i first went out — a handed-off job keeps its
+     *  original dispatch time, so the streamed wallMs covers the dead
+     *  endpoint's burned budget too. Stable once claimed. */
+    ExecClock::time_point
+    firstDispatch(std::size_t i) const
+    {
+        return firstDispatch_[i];
+    }
+
+    /** The claimed job reached a final outcome (either way). */
+    void
+    finish()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --working_;
+        cv_.notify_all();
+    }
+
+    /**
+     * This endpoint exhausted its budget on job @p i. When other
+     * endpoints are still in the game and the job has not been
+     * handed off before, give it to them and retire (true) — a dead
+     * endpoint must not sink jobs a healthy one could run. False
+     * means the failure is final: either nobody is left, or the job
+     * already burned a full budget elsewhere — two exhausted budgets
+     * point at the job, not the endpoints, and re-routing a
+     * daemon-killing cell any further would take the whole fleet
+     * down with it (the caller then keeps claiming: its endpoint is
+     * not presumed dead).
+     */
+    bool
+    retireAndRequeue(std::size_t i)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (active_ <= 1 || reroutes_[i] >= 1)
+            return false;
+        --active_;
+        ++reroutes_[i];
+        requeued_.push_back(i);
+        --working_;
+        cv_.notify_all();
+        return true;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::size_t> requeued_;
+    std::vector<std::uint8_t> reroutes_; ///< hand-offs per job
+    std::vector<ExecClock::time_point> firstDispatch_;
+    std::size_t nextIdx_ = 0;
+    const std::size_t total_;
+    int working_ = 0; ///< jobs claimed but not yet resolved
+    int active_ = 0;  ///< endpoints that have not retired
+};
+
+} // namespace
+
+std::vector<CellOutcome>
+RemoteExecutor::execute(const std::vector<CellJob> &jobs)
+{
+    std::vector<CellOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    RemoteQueue queue(jobs.size(),
+                      static_cast<int>(opts_.endpoints.size()));
+    std::atomic<int> connects{0}, reconnects{0}, retries{0};
+
+    // One pool thread per endpoint: each owns one connection and
+    // claims jobs off the shared queue, mirroring the subprocess
+    // pool's one-thread-one-worker discipline. A dropped connection
+    // re-queues the in-flight job on this thread and reconnects with
+    // attempt-scaled backoff — enough to ride out a daemon restart.
+    // A job that exhausts its budget is handed back to the queue for
+    // the remaining endpoints (this one retires: one dead daemon must
+    // not sink jobs a healthy one could run); only the last endpoint
+    // standing writes permanent failures into outcomes.
+    auto work = [&](const std::string &endpoint) {
+        net::HostPort hp;
+        std::string parseError;
+        if (!net::parseHostPort(endpoint, hp, parseError))
+            return; // ctor validated; belt and braces
+        net::Fd conn;
+        net::LineReader reader;
+        bool everConnected = false;
+        for (;;) {
+            std::size_t i;
+            if (!queue.claim(i))
+                break;
+            const std::string line = jobs[i].toJson();
+
+            CellOutcome result;
+            std::string lastError = "never connected";
+            bool done = false;
+            for (int attempt = 0; attempt <= opts_.maxRetries && !done;
+                 ++attempt) {
+                if (attempt > 0) {
+                    retries.fetch_add(1);
+                    if (opts_.retryBackoffMs > 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(
+                                attempt * opts_.retryBackoffMs));
+                }
+                std::string err;
+                if (!conn.valid()) {
+                    conn = net::connectTcp(hp.host, hp.port, err);
+                    if (!conn.valid()) {
+                        lastError = err;
+                        continue;
+                    }
+                    reader.reset(conn.get());
+                    connects.fetch_add(1);
+                    if (everConnected)
+                        reconnects.fetch_add(1);
+                    everConnected = true;
+                }
+
+                if (!net::writeLine(conn.get(), line, err)) {
+                    lastError =
+                        "daemon dropped before accepting the job: " + err;
+                    conn.reset();
+                    continue;
+                }
+                std::string reply;
+                net::LineReader::Status status =
+                    reader.readLine(reply, err);
+                if (status != net::LineReader::Status::Line) {
+                    lastError =
+                        status == net::LineReader::Status::Eof
+                            ? std::string("daemon dropped mid-job")
+                            : "framing error: " + err;
+                    conn.reset();
+                    continue;
+                }
+                if (!CellOutcome::fromJson(reply, result, err)) {
+                    lastError = "malformed daemon reply: " + err;
+                    conn.reset();
+                    continue;
+                }
+                if (result.id != jobs[i].id) {
+                    lastError = "daemon replied to job "
+                                + std::to_string(result.id)
+                                + " instead of "
+                                + std::to_string(jobs[i].id);
+                    conn.reset();
+                    continue;
+                }
+                done = true;
+            }
+
+            if (!done && queue.retireAndRequeue(i))
+                break; // another endpoint will resolve job i
+            if (done) {
+                outcomes[i] = std::move(result);
+            } else {
+                outcomes[i].id = jobs[i].id;
+                outcomes[i].ok = false;
+                outcomes[i].error =
+                    "cell " + jobs[i].bench + "/" + jobs[i].arch + " via "
+                    + endpoint + " failed after "
+                    + std::to_string(opts_.maxRetries + 1)
+                    + " attempts: " + lastError;
+            }
+            emitOutcomeEvent(opts_, jobs[i], outcomes[i],
+                             queue.firstDispatch(i));
+            queue.finish();
+        }
+        // Closing the connection tells the daemon this stream is done.
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(opts_.endpoints.size());
+    for (const auto &endpoint : opts_.endpoints)
+        pool.emplace_back(work, endpoint);
+    for (auto &t : pool)
+        t.join();
+
+    stats_.connects += connects.load();
+    stats_.reconnects += reconnects.load();
+    stats_.retries += retries.load();
+    return outcomes;
+}
+
 std::unique_ptr<Executor>
 makeExecutor(const ExecOptions &opts)
 {
@@ -619,11 +966,28 @@ makeExecutor(const ExecOptions &opts)
         return std::make_unique<InProcessExecutor>(opts);
     case ExecBackend::Subprocess:
         return std::make_unique<SubprocessExecutor>(opts);
+    case ExecBackend::Tcp:
+        return std::make_unique<RemoteExecutor>(opts);
     }
     return nullptr;
 }
 
 // ---- the worker loop ----
+
+std::string
+handleCellLine(const std::string &line)
+{
+    CellJob job;
+    std::string err;
+    CellOutcome outcome;
+    if (CellJob::fromJson(line, job, err)) {
+        outcome = executeCellJob(job);
+    } else {
+        outcome.ok = false;
+        outcome.error = "malformed job: " + err;
+    }
+    return outcome.toJson();
+}
 
 int
 cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter)
@@ -636,16 +1000,7 @@ cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter)
     while (readLine(in, line)) {
         if (line.empty())
             continue;
-        CellJob job;
-        std::string err;
-        CellOutcome outcome;
-        if (CellJob::fromJson(line, job, err)) {
-            outcome = executeCellJob(job);
-        } else {
-            outcome.ok = false;
-            outcome.error = "malformed job: " + err;
-        }
-        std::string reply = outcome.toJson();
+        std::string reply = handleCellLine(line);
         if (std::fputs(reply.c_str(), out) < 0
             || std::fputc('\n', out) == EOF || std::fflush(out) != 0)
             return 1; // parent went away
@@ -653,6 +1008,132 @@ cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter)
             _exit(3); // crash-path test hook
     }
     return 0;
+}
+
+// ---- the --serve worker daemon ----
+
+namespace
+{
+
+volatile std::sig_atomic_t g_daemonSignal = 0;
+
+void
+daemonSignalHandler(int sig)
+{
+    g_daemonSignal = sig;
+}
+
+} // namespace
+
+int
+cellDaemonMain(std::uint16_t port)
+{
+    // Block the shutdown signals first and install the flag-setting
+    // handlers, so the sigsuspend wait below is race-free and every
+    // server thread (which inherits the blocked mask) routes delivery
+    // to this thread. Teardown happens on the normal path: the
+    // handler only sets a flag.
+    sigset_t mask, old;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGINT);
+    sigaddset(&mask, SIGTERM);
+    sigprocmask(SIG_BLOCK, &mask, &old);
+    struct sigaction sa{};
+    sa.sa_handler = daemonSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    std::atomic<std::uint64_t> served{0};
+    net::Server server;
+    std::string error;
+    bool ok = server.start(
+        port,
+        [&served](const std::string &line) {
+            served.fetch_add(1);
+            return std::optional<std::string>(handleCellLine(line));
+        },
+        error);
+    if (!ok)
+        fatal("--serve %u: %s", static_cast<unsigned>(port),
+              error.c_str());
+
+    inform("cell daemon listening on port %u (pid %ld)",
+           static_cast<unsigned>(server.port()),
+           static_cast<long>(getpid()));
+    while (g_daemonSignal == 0)
+        sigsuspend(&old);
+    int sig = g_daemonSignal;
+
+    server.stop(); // closes the listener and every connection, joins
+    sigprocmask(SIG_SETMASK, &old, nullptr);
+    inform("cell daemon on port %u shut down on signal %d after "
+           "%llu jobs across %d connections",
+           static_cast<unsigned>(server.port()), sig,
+           static_cast<unsigned long long>(served.load()),
+           server.connectionsAccepted());
+    return 0;
+}
+
+// ---- the --stream event sink ----
+
+std::unique_ptr<OutcomeStream>
+OutcomeStream::open(const std::string &spec, std::string &error)
+{
+    std::FILE *out = nullptr;
+    bool owned = true;
+    if (spec == "-") {
+        out = stdout;
+        owned = false;
+    } else if (spec.rfind("fd:", 0) == 0) {
+        char *end = nullptr;
+        long fd = std::strtol(spec.c_str() + 3, &end, 10);
+        int dup = -1;
+        if (spec.size() > 3 && *end == '\0' && fd >= 0)
+            dup = ::dup(static_cast<int>(fd));
+        out = dup >= 0 ? fdopen(dup, "w") : nullptr;
+        if (out == nullptr) {
+            if (dup >= 0)
+                ::close(dup);
+            error = "--stream " + spec + ": not an open descriptor";
+            return nullptr;
+        }
+    } else {
+        out = std::fopen(spec.c_str(), "w");
+        if (out == nullptr) {
+            error = "--stream " + spec + ": " + std::strerror(errno);
+            return nullptr;
+        }
+    }
+    return std::unique_ptr<OutcomeStream>(new OutcomeStream(out, owned));
+}
+
+OutcomeStream::~OutcomeStream()
+{
+    if (owned_)
+        std::fclose(out_);
+    else
+        std::fflush(out_);
+}
+
+void
+OutcomeStream::write(const CellJob &job, const CellOutcome &outcome,
+                     double wallMs)
+{
+    std::string event = "{\"event\":\"cell\",";
+    appendField(event, "id", job.id);
+    event += ",\"bench\":" + json::quote(job.bench);
+    event += ",\"arch\":" + json::quote(job.arch);
+    event += ",\"ok\":";
+    event += outcome.ok ? "true" : "false";
+    event += ",\"wallMs\":" + json::fromDouble(wallMs);
+    event += ",\"outcome\":" + outcome.toJson();
+    event += '}';
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fputs(event.c_str(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_); // live: a dashboard tail sees the cell now
 }
 
 } // namespace l0vliw::driver

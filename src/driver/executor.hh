@@ -14,7 +14,7 @@
  * from their raw tokens and doubles travel as %.17g, so a run that
  * crossed a pipe is bit-identical to one computed in place.
  *
- * Two backends ship:
+ * Three backends ship:
  *
  *  - InProcessExecutor: a work-stealing thread pool, the engine's
  *    classic Suite::run(jobs) behaviour.
@@ -24,17 +24,32 @@
  *    survived by respawning the child and retrying the job a bounded
  *    number of times; a job that keeps killing its worker fails
  *    cleanly in its outcome instead of sinking the grid.
+ *  - RemoteExecutor: the same NDJSON lines over TCP (src/net) to a
+ *    set of `--serve` worker daemons, one connection per endpoint.
+ *    The respawn discipline becomes a reconnect discipline: a dropped
+ *    connection re-queues the in-flight job, reconnects with backoff
+ *    (which also rides out a daemon restart), and an endpoint that
+ *    exhausts a job's retry budget hands the job back to the shared
+ *    queue and retires — the surviving endpoints absorb its load, and
+ *    only when every endpoint is gone do jobs fail in their outcomes.
  *
- * Every cell is a deterministic pure function of its job, so the two
- * backends produce bit-identical grids for every jobs value
+ * Every cell is a deterministic pure function of its job, so all
+ * backends produce bit-identical grids for every jobs/endpoint count
  * (tests/test_executor.cc proves it across every registered ArchSpec).
+ *
+ * Completion streaming: ExecOptions.onOutcome, when set, fires once
+ * per job as its final outcome lands (from whichever worker thread
+ * finished it). OutcomeStream adapts that hook into an NDJSON event
+ * stream — the drivers' --stream flag, one line per completed cell.
  */
 
 #ifndef L0VLIW_DRIVER_EXECUTOR_HH
 #define L0VLIW_DRIVER_EXECUTOR_HH
 
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,13 +63,25 @@ enum class ExecBackend
 {
     InProcess,  ///< worker threads in this process
     Subprocess, ///< a pool of --cell-worker child processes
+    Tcp,        ///< --serve daemons reached over TCP (src/net)
 };
 
-/** Parse "inprocess" | "subprocess" (fatal on anything else). */
+/** Parse "inprocess" | "subprocess" | "tcp" (fatal otherwise). */
 ExecBackend parseExecBackend(const std::string &name);
 
 /** The L0VLIW_EXECUTOR environment default (InProcess when unset). */
 ExecBackend execBackendFromEnv();
+
+struct CellJob;
+struct CellOutcome;
+
+/**
+ * Per-completed-cell notification: the job, its final outcome (after
+ * any retries), and the wall time from first dispatch to outcome.
+ * Invoked concurrently from worker threads — sinks must lock.
+ */
+using CellEventFn = std::function<void(
+    const CellJob &job, const CellOutcome &outcome, double wallMs)>;
 
 /** How a Suite executes its cells (the drivers' --executor/--jobs). */
 struct ExecOptions
@@ -62,7 +89,8 @@ struct ExecOptions
     ExecBackend backend = ExecBackend::InProcess;
     /** Worker threads or worker processes (<= 1: one worker). */
     int jobs = 1;
-    /** Subprocess: respawn-and-retry budget per job on worker death. */
+    /** Subprocess/Tcp: retry budget per job on worker/connection
+     *  death (attempts = maxRetries + 1). */
     int maxRetries = 2;
     /**
      * Subprocess: the worker command line. Empty means re-execute this
@@ -70,6 +98,17 @@ struct ExecOptions
      * every driver built on the shared CLI is its own worker.
      */
     std::vector<std::string> workerCommand;
+    /**
+     * Tcp: the "host:port" worker daemons (the drivers' --connect).
+     * One connection — and one pool thread — per entry; list a daemon
+     * twice for two concurrent streams into it.
+     */
+    std::vector<std::string> endpoints;
+    /** Tcp: per-attempt reconnect backoff (attempt-scaled, so the
+     *  budget rides out a daemon restart). */
+    int retryBackoffMs = 50;
+    /** Fires once per job with its final outcome; see CellEventFn. */
+    CellEventFn onOutcome;
 };
 
 /** One serializable unit of grid work. */
@@ -165,6 +204,30 @@ class SubprocessExecutor : public Executor
     Stats stats_;
 };
 
+/** Ships cell jobs to --serve daemons over TCP (ExecBackend::Tcp). */
+class RemoteExecutor : public Executor
+{
+  public:
+    /** Connection-health counters (inspectable by tests). */
+    struct Stats
+    {
+        int connects = 0;   ///< connections established (initial + re)
+        int reconnects = 0; ///< connections re-established after a drop
+        int retries = 0;    ///< jobs re-sent after a drop/connect fail
+    };
+
+    /** Fatal on an empty or malformed ExecOptions.endpoints list. */
+    explicit RemoteExecutor(const ExecOptions &opts);
+    std::vector<CellOutcome>
+    execute(const std::vector<CellJob> &jobs) override;
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    ExecOptions opts_;
+    Stats stats_;
+};
+
 std::unique_ptr<Executor> makeExecutor(const ExecOptions &opts);
 
 /**
@@ -176,6 +239,69 @@ std::unique_ptr<Executor> makeExecutor(const ExecOptions &opts);
  * the worker _exit(3) after that many outcomes (0 dies immediately).
  */
 int cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter = -1);
+
+/**
+ * One protocol round trip, transport-free: decode a CellJob line,
+ * execute it, encode the CellOutcome line. Malformed frames come back
+ * as a failed outcome (id 0), never a crash — both the --cell-worker
+ * loop and the --serve daemon are this function behind a transport.
+ */
+std::string handleCellLine(const std::string &line);
+
+/**
+ * The --serve CLI mode: a worker daemon answering CellJob lines with
+ * CellOutcome lines over TCP (thread per connection, any number of
+ * drivers). Blocks until SIGINT/SIGTERM, then stops accepting, drops
+ * every connection, joins all threads, logs a final line, and returns
+ * 0 — the graceful-shutdown contract the CI loopback job asserts.
+ * @p port 0 picks an ephemeral port (logged on startup).
+ */
+int cellDaemonMain(std::uint16_t port);
+
+/**
+ * The --stream sink: one NDJSON event per completed cell, written as
+ * outcomes land (any backend, any thread — writes are serialized and
+ * flushed per event). Event schema (src/driver/README.md):
+ *
+ *   {"event":"cell","id":7,"bench":"gsmdec","arch":"l0-8",
+ *    "ok":true,"wallMs":12.5,"outcome":{...full CellOutcome...}}
+ */
+class OutcomeStream
+{
+  public:
+    /**
+     * Open @p spec: "-" appends to stdout, "fd:N" adopts a duplicate
+     * of descriptor N, anything else is a file path (truncated).
+     * Null + @p error on failure.
+     */
+    static std::unique_ptr<OutcomeStream> open(const std::string &spec,
+                                               std::string &error);
+    ~OutcomeStream();
+
+    OutcomeStream(const OutcomeStream &) = delete;
+    OutcomeStream &operator=(const OutcomeStream &) = delete;
+
+    /** Emit one event line (locked, flushed). */
+    void write(const CellJob &job, const CellOutcome &outcome,
+               double wallMs);
+
+    /** An ExecOptions.onOutcome bound to this stream. */
+    CellEventFn
+    callback()
+    {
+        return [this](const CellJob &job, const CellOutcome &outcome,
+                      double wallMs) { write(job, outcome, wallMs); };
+    }
+
+  private:
+    OutcomeStream(std::FILE *out, bool owned) : out_(out), owned_(owned)
+    {
+    }
+
+    std::FILE *out_;
+    bool owned_; ///< close on destruction ("-" leaves stdout open)
+    std::mutex mutex_;
+};
 
 } // namespace l0vliw::driver
 

@@ -169,7 +169,10 @@ Suite::run(const ExecOptions &exec) const
 
     // Phase 1: every remaining cell becomes a serializable CellJob,
     // label-addressed through the registries, and the executor decides
-    // where it runs. "unified" cells are the baseline bit-for-bit and
+    // where it runs — this process, a subprocess pool, or --serve
+    // daemons over TCP; the event stream (ExecOptions.onOutcome) sees
+    // exactly these dispatched jobs, one event per cell as it
+    // completes. "unified" cells are the baseline bit-for-bit and
     // never dispatch. The in-process backend pays the same
     // value-semantics cost as subprocess (a baseline copy per job,
     // label re-resolution per cell) so that every cell exercises the

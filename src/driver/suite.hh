@@ -18,12 +18,14 @@
  * (serially, in suite order) the per-benchmark unroll factors and
  * unified-baseline runs, then turns every remaining cell into a
  * serializable CellJob and hands the batch to an Executor
- * (driver/executor.hh) — worker threads in this process or a pool of
- * --cell-worker subprocesses. Phase-0 results ride inside each job,
- * and each worker constructs its own KernelPlans — a plan's scratch
- * is not reentrant, one plan per worker — so results are bit-identical
- * for every (backend, jobs) combination (tests/test_driver.cc and
- * tests/test_executor.cc prove it).
+ * (driver/executor.hh) — worker threads in this process, a pool of
+ * --cell-worker subprocesses, or remote --serve daemons over TCP.
+ * Phase-0 results ride inside each job, and each worker constructs
+ * its own KernelPlans — a plan's scratch is not reentrant, one plan
+ * per worker — so results are bit-identical for every (backend, jobs,
+ * endpoints) combination (tests/test_driver.cc and
+ * tests/test_executor.cc prove it). ExecOptions.onOutcome additionally
+ * streams every completed cell as it lands — see OutcomeStream.
  */
 
 #ifndef L0VLIW_DRIVER_SUITE_HH

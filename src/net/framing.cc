@@ -1,0 +1,86 @@
+#include "net/framing.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace l0vliw::net
+{
+
+LineReader::Status
+LineReader::readLine(std::string &out, std::string &error)
+{
+    out.clear();
+    for (;;) {
+        // Resume the terminator scan where the last read left off —
+        // rescanning from 0 per 4KB chunk would be quadratic in frame
+        // size, a cheap CPU burn for a terminator-less peer.
+        std::size_t nl = buf_.find('\n', scanned_);
+        scanned_ = nl == std::string::npos ? buf_.size() : nl;
+        if (nl != std::string::npos && nl <= maxLine_) {
+            out.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            scanned_ = 0;
+            return Status::Line;
+        }
+        // No terminator yet (or one past the bound): an over-long
+        // frame is rejected whether it arrived whole or is still
+        // growing — either way the peer is off-protocol.
+        if (nl != std::string::npos || buf_.size() > maxLine_) {
+            error = "frame exceeds the " + std::to_string(maxLine_)
+                    + "-byte bound";
+            buf_.clear();
+            scanned_ = 0;
+            return Status::Error;
+        }
+
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            if (buf_.empty())
+                return Status::Eof;
+            error = "stream ended mid-frame (" + std::to_string(buf_.size())
+                    + " bytes of truncated frame)";
+            buf_.clear();
+            scanned_ = 0;
+            return Status::Error;
+        }
+        if (errno == EINTR)
+            continue;
+        error = std::string("read: ") + std::strerror(errno);
+        return Status::Error;
+    }
+}
+
+bool
+writeLine(int fd, const std::string &line, std::string &error)
+{
+    std::string frame = line;
+    frame += '\n';
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        // MSG_NOSIGNAL keeps a hung-up socket peer an EPIPE error
+        // instead of a process-killing SIGPIPE; pipes (ENOTSOCK) fall
+        // back to plain write and the executor's SIGPIPE disposition.
+        ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, frame.data() + off, frame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("write: ") + std::strerror(errno);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace l0vliw::net

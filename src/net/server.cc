@@ -1,0 +1,123 @@
+#include "net/server.hh"
+
+#include <sys/socket.h>
+
+#include "common/logging.hh"
+#include "net/framing.hh"
+
+namespace l0vliw::net
+{
+
+bool
+Server::start(std::uint16_t port, Handler handler, std::string &error)
+{
+    if (running()) {
+        error = "server already running";
+        return false;
+    }
+    stopping_.store(false);
+    handler_ = std::move(handler);
+    listen_ = listenTcp(port, error, &port_);
+    if (!listen_.valid())
+        return false;
+    acceptThread_ = std::thread([this]() { acceptLoop(); });
+    return true;
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        std::string error;
+        Fd conn = acceptConn(listen_.get(), error);
+        if (!conn.valid()) {
+            // acceptConn already rode out transient errors; reaching
+            // here means the listener itself is gone. Expected during
+            // stop() — anything else deserves a trace before the
+            // daemon goes accept-deaf.
+            if (!stopping_.load())
+                warn("server on port %u stopped accepting: %s",
+                     static_cast<unsigned>(port_), error.c_str());
+            break;
+        }
+        accepted_.fetch_add(1);
+
+        auto c = std::make_unique<Conn>();
+        c->fd = std::move(conn);
+        Conn *raw = c.get();
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_.load())
+            break; // raced with stop(): drop the connection unserved
+        reapFinished();
+        raw->thread = std::thread([this, raw]() { serveConn(raw); });
+        conns_.push_back(std::move(c));
+    }
+}
+
+void
+Server::serveConn(Conn *conn)
+{
+    LineReader reader(conn->fd.get());
+    std::string line, error;
+    while (reader.readLine(line, error) == LineReader::Status::Line) {
+        std::optional<std::string> reply = handler_(line);
+        if (!reply.has_value())
+            break;
+        if (!writeLine(conn->fd.get(), *reply, error))
+            break;
+    }
+    // Framing errors (truncated/oversized), a declining handler, and
+    // EOF all end here: the peer sees EOF and its retry discipline
+    // takes over. Close the fd now — under the mutex, so stop()'s
+    // shutdown sweep can never touch a recycled descriptor — rather
+    // than holding it until the next accept reaps us; an idle daemon
+    // must not sit on a finished suite's worth of sockets.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ::shutdown(conn->fd.get(), SHUT_RDWR);
+    conn->fd.reset();
+    conn->done.store(true);
+}
+
+void
+Server::reapFinished()
+{
+    for (std::size_t i = 0; i < conns_.size();) {
+        if (conns_[i]->done.load()) {
+            conns_[i]->thread.join();
+            conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+Server::stop()
+{
+    if (!running())
+        return;
+    stopping_.store(true);
+    // Wake accept() — on Linux shutting a listening socket down makes
+    // the blocked accept return, where plain close() would not.
+    ::shutdown(listen_.get(), SHUT_RDWR);
+    acceptThread_.join();
+    listen_.reset();
+
+    // Wake every reader still blocked on its socket (under the mutex:
+    // a finishing serveConn closes its own fd there, and we must not
+    // shut down a recycled descriptor)...
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &conn : conns_)
+            if (conn->fd.valid())
+                ::shutdown(conn->fd.get(), SHUT_RDWR);
+    }
+    // ...then join outside it — serveConn needs the mutex on its way
+    // out. conns_ itself is stable: only the accept loop (joined
+    // above) ever grows or reaps it.
+    for (auto &conn : conns_)
+        conn->thread.join();
+    conns_.clear();
+}
+
+} // namespace l0vliw::net

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A small line-framed request/reply TCP server: the accept loop under
+ * the driver's `--serve` worker daemon (and anything else that wants
+ * to answer NDJSON lines on a port).
+ *
+ * One background thread accepts; each connection gets its own thread
+ * running read-line → handler → write-line until the peer hangs up,
+ * the handler declines (nullopt closes the connection), or the server
+ * stops. The handler runs concurrently across connections and must be
+ * thread-safe. stop() is idempotent, wakes the accept loop by
+ * shutting the listening socket down, shuts every live connection,
+ * and joins all threads — after it returns no server thread is
+ * running, which is what makes SIGINT-driven daemon shutdown clean
+ * (the signal handler only sets a flag; teardown happens on the
+ * normal path).
+ */
+
+#ifndef L0VLIW_NET_SERVER_HH
+#define L0VLIW_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hh"
+
+namespace l0vliw::net
+{
+
+/** Serves one request line → one reply line per round trip. */
+class Server
+{
+  public:
+    /**
+     * Maps a received frame to the reply frame. Returning nullopt
+     * closes that connection instead of replying (also how tests
+     * simulate a worker dropping mid-job). Must be thread-safe.
+     */
+    using Handler =
+        std::function<std::optional<std::string>(const std::string &)>;
+
+    Server() = default;
+    ~Server() { stop(); }
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind @p port (0 picks an ephemeral port — see port()), start
+     * the accept thread. False + @p error when the port is taken.
+     */
+    bool start(std::uint16_t port, Handler handler, std::string &error);
+
+    /** The bound port (valid after a successful start). */
+    std::uint16_t port() const { return port_; }
+
+    /** Lifetime connection count (inspectable by tests). */
+    int connectionsAccepted() const { return accepted_.load(); }
+
+    bool running() const { return listen_.valid(); }
+
+    /** Stop accepting, drop every connection, join all threads. */
+    void stop();
+
+  private:
+    struct Conn
+    {
+        Fd fd;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void serveConn(Conn *conn);
+    /** Join and drop connections whose threads already finished. */
+    void reapFinished();
+
+    Handler handler_;
+    Fd listen_;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::mutex mutex_; ///< guards conns_
+    std::vector<std::unique_ptr<Conn>> conns_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<int> accepted_{0};
+};
+
+} // namespace l0vliw::net
+
+#endif // L0VLIW_NET_SERVER_HH

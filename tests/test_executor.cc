@@ -2,16 +2,29 @@
  * @file
  * The executor API and its wire protocol: lossless JSON round-trips
  * of CellJob/CellOutcome/BenchmarkRun (every field, StatSet and
- * bit-exact doubles included), subprocess ≡ in-process bit-identity
- * across every registered ArchSpec, and the worker-death retry path.
+ * bit-exact doubles included), subprocess ≡ in-process ≡ tcp
+ * bit-identity across every registered ArchSpec, the worker-death and
+ * connection-drop retry paths (daemon restart included), the
+ * per-cell event stream, and graceful shutdown (daemon SIGTERM, no
+ * orphaned --cell-worker children).
  *
  * This test carries its own main(): the SubprocessExecutor re-executes
  * /proc/self/exe as a --cell-worker, so this binary doubles as its own
- * worker (with a --crash-after=N hook for the death tests).
+ * worker (with a --crash-after=N hook for the death tests and a
+ * --sleep-worker hook for the orphan-cleanup test).
  */
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <set>
 #include <string>
+#include <thread>
+
+#include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -20,6 +33,8 @@
 #include "driver/registry.hh"
 #include "driver/runner.hh"
 #include "driver/suite.hh"
+#include "net/server.hh"
+#include "net/socket.hh"
 #include "workloads/registry.hh"
 
 using namespace l0vliw;
@@ -430,6 +445,484 @@ TEST(SubprocessExecutor, PropagatesInJobFailures)
     EXPECT_EQ(exec.stats().retries, 0);
 }
 
+// ---- tcp executor: a loopback --serve daemon in this process ----
+
+namespace
+{
+
+/** A net::Server answering the cell protocol, like --serve does. */
+struct LoopbackDaemon
+{
+    net::Server server;
+    std::atomic<int> served{0};
+
+    /** @p dropEvery > 0 closes the connection instead of replying to
+     *  every dropEvery-th request — a daemon dying mid-job. */
+    explicit LoopbackDaemon(int dropEvery = 0)
+    {
+        std::string error;
+        bool ok = server.start(
+            0,
+            [this, dropEvery](
+                const std::string &line) -> std::optional<std::string> {
+                int n = served.fetch_add(1) + 1;
+                if (dropEvery > 0 && n % dropEvery == 0)
+                    return std::nullopt;
+                return driver::handleCellLine(line);
+            },
+            error);
+        EXPECT_TRUE(ok) << error;
+    }
+
+    std::string
+    endpoint() const
+    {
+        return "127.0.0.1:" + std::to_string(server.port());
+    }
+};
+
+ExecOptions
+tcpOpts(const std::vector<std::string> &endpoints, int maxRetries = 2)
+{
+    ExecOptions opts;
+    opts.backend = ExecBackend::Tcp;
+    opts.endpoints = endpoints;
+    opts.maxRetries = maxRetries;
+    opts.retryBackoffMs = 10; // tests shouldn't sleep long
+    return opts;
+}
+
+} // namespace
+
+TEST(RemoteExecutor, BitIdenticalToInProcessAcrossRegistry)
+{
+    // Every registered ArchSpec crosses TCP; the decoded runs must
+    // equal the in-process ones bit for bit — the third backend obeys
+    // the same contract the subprocess pool proved above.
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"gsmdec", "stream-4"};
+    spec.archs = driver::archRegistry().names();
+    for (std::size_t a = 0; a < spec.archs.size(); ++a)
+        spec.columns.push_back(driver::normalizedColumn(
+            spec.archs[a], static_cast<int>(a)));
+    driver::Suite suite(std::move(spec));
+
+    ExecOptions inproc;
+    inproc.jobs = 1;
+    driver::ResultGrid serial = suite.run(inproc);
+
+    LoopbackDaemon daemon;
+    // Two connections into the same daemon: cells interleave across
+    // streams and must still land bit-identically.
+    driver::ResultGrid remote =
+        suite.run(tcpOpts({daemon.endpoint(), daemon.endpoint()}));
+
+    ASSERT_EQ(serial.numBenches(), remote.numBenches());
+    ASSERT_EQ(serial.numArchs(), remote.numArchs());
+    for (std::size_t b = 0; b < serial.numBenches(); ++b) {
+        expectRunsEqual(serial.baseline(b), remote.baseline(b));
+        for (std::size_t a = 0; a < serial.numArchs(); ++a) {
+            expectRunsEqual(serial.cell(b, a).run,
+                            remote.cell(b, a).run);
+            EXPECT_EQ(serial.cell(b, a).normalized,
+                      remote.cell(b, a).normalized);
+            EXPECT_EQ(serial.cell(b, a).normalizedStall,
+                      remote.cell(b, a).normalizedStall);
+        }
+    }
+    EXPECT_EQ(renderText(serial.render()), renderText(remote.render()));
+    EXPECT_EQ(renderJson(serial.render()), renderJson(remote.render()));
+}
+
+TEST(RemoteExecutor, ReconnectsWhenDaemonDropsMidJob)
+{
+    // The daemon hangs up instead of answering every third request:
+    // the in-flight job must be re-queued on a fresh connection, and
+    // every outcome still lands correctly.
+    LoopbackDaemon daemon(/*dropEvery=*/3);
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back(
+            makeJob(i, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    driver::RemoteExecutor exec(tcpOpts({daemon.endpoint()}));
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        EXPECT_EQ(outcomes[i].id, jobs[i].id);
+        EXPECT_EQ(outcomes[i].run.arch, jobs[i].arch);
+    }
+    EXPECT_GT(exec.stats().reconnects, 0);
+    EXPECT_GT(exec.stats().retries, 0);
+}
+
+TEST(RemoteExecutor, SurvivesDaemonRestartMidSuite)
+{
+    // Stop the daemon while a grid is in flight and bring a new one
+    // up on the same port: the reconnect backoff must ride the gap.
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(
+            makeJob(i, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    net::Server first;
+    std::atomic<int> served{0};
+    std::string error;
+    ASSERT_TRUE(first.start(
+        0,
+        [&served](const std::string &line) {
+            served.fetch_add(1);
+            return std::optional<std::string>(
+                driver::handleCellLine(line));
+        },
+        error))
+        << error;
+    std::uint16_t port = first.port();
+
+    ExecOptions opts =
+        tcpOpts({"127.0.0.1:" + std::to_string(port)},
+                /*maxRetries=*/8);
+    opts.retryBackoffMs = 25; // 8 backed-off attempts ≈ 900ms of grace
+    driver::RemoteExecutor exec(opts);
+
+    std::vector<CellOutcome> outcomes;
+    std::thread runner(
+        [&]() { outcomes = exec.execute(jobs); });
+
+    // Let a few cells through, then restart the daemon on that port.
+    for (int spin = 0; served.load() < 2 && spin < 20000; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(served.load(), 2) << "daemon never saw the suite";
+    first.stop();
+    net::Server second;
+    ASSERT_TRUE(second.start(
+        port,
+        [](const std::string &line) {
+            return std::optional<std::string>(
+                driver::handleCellLine(line));
+        },
+        error))
+        << error;
+    runner.join();
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        EXPECT_EQ(outcomes[i].id, jobs[i].id);
+    }
+    EXPECT_GE(exec.stats().connects, 2);
+}
+
+TEST(RemoteExecutor, ReroutesJobsFromADeadEndpoint)
+{
+    // One healthy daemon, one endpoint nobody listens on: the dead
+    // endpoint's thread must retire after its first exhausted job and
+    // hand everything back — the whole grid completes through the
+    // healthy connection, no failed outcomes.
+    LoopbackDaemon daemon;
+    std::string error;
+    std::uint16_t deadPort = 0;
+    {
+        net::Fd listener = net::listenTcp(0, error, &deadPort);
+        ASSERT_TRUE(listener.valid()) << error;
+    }
+
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(
+            makeJob(i, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    ExecOptions opts = tcpOpts(
+        {daemon.endpoint(), "127.0.0.1:" + std::to_string(deadPort)},
+        /*maxRetries=*/1);
+    opts.retryBackoffMs = 1;
+    driver::RemoteExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        EXPECT_EQ(outcomes[i].id, jobs[i].id);
+        EXPECT_EQ(outcomes[i].run.arch, jobs[i].arch);
+    }
+    // The dead endpoint burned retries before retiring.
+    EXPECT_GE(exec.stats().retries, 1);
+}
+
+TEST(RemoteExecutor, FailsCleanlyWhenNoDaemonListens)
+{
+    // Reserve an ephemeral port, then close it: every attempt is
+    // refused, the budget runs out, and failures land per-job.
+    std::string error;
+    std::uint16_t port = 0;
+    {
+        net::Fd listener = net::listenTcp(0, error, &port);
+        ASSERT_TRUE(listener.valid()) << error;
+    }
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs = {makeJob(0, "gsmdec", "l0-8", p0)};
+
+    ExecOptions opts = tcpOpts(
+        {"127.0.0.1:" + std::to_string(port)}, /*maxRetries=*/1);
+    opts.retryBackoffMs = 1;
+    driver::RemoteExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("failed after"), std::string::npos)
+        << outcomes[0].error;
+    EXPECT_GE(exec.stats().retries, 1);
+}
+
+TEST(RemoteExecutor, PropagatesInJobFailures)
+{
+    // A job the *daemon* rejects (bad label) is not a connection
+    // failure: no retries, the failure comes back in the outcome.
+    LoopbackDaemon daemon;
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs = {
+        makeJob(0, "gsmdec", "l0-8", p0),
+        makeJob(1, "no-such-bench", "l0-8", p0),
+    };
+    driver::RemoteExecutor exec(tcpOpts({daemon.endpoint()}));
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_NE(outcomes[1].error.find("no-such-bench"),
+              std::string::npos);
+    EXPECT_EQ(exec.stats().retries, 0);
+}
+
+// ---- the per-cell event stream ----
+
+namespace
+{
+
+/** Run @p suite with @p opts streaming into a temp file; return the
+ *  parsed event lines. */
+std::vector<json::Value>
+streamedEvents(const driver::Suite &suite, ExecOptions opts,
+               const std::string &tag)
+{
+    std::string path = ::testing::TempDir() + "events_" + tag
+                       + ".ndjson";
+    {
+        std::string error;
+        auto stream = driver::OutcomeStream::open(path, error);
+        EXPECT_NE(stream, nullptr) << error;
+        opts.onOutcome = stream->callback();
+        suite.run(opts);
+    }
+    std::vector<json::Value> events;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr);
+    char buf[65536];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+        std::string line(buf);
+        EXPECT_EQ(line.back(), '\n');
+        line.pop_back();
+        std::string error;
+        auto doc = json::parse(line, &error);
+        EXPECT_TRUE(doc.has_value())
+            << error << " in event line: " << line;
+        if (doc)
+            events.push_back(std::move(*doc));
+    }
+    std::fclose(f);
+    return events;
+}
+
+} // namespace
+
+TEST(Stream, OneEventPerDispatchedCellFromEveryBackend)
+{
+    // 2 benchmarks × 3 archs, one of them "unified": unified cells
+    // are satisfied by the phase-0 baseline and never dispatch, so
+    // every backend must emit exactly 2 × 2 events, ids unique, and
+    // each event's labels must name a real dispatched cell.
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"gsmdec", "stream-4"};
+    spec.archs = {"l0-8", "unified", "l0-4"};
+    for (int a = 0; a < 3; ++a)
+        spec.columns.push_back(
+            driver::normalizedColumn(spec.archs[a], a));
+    driver::Suite suite(std::move(spec));
+
+    LoopbackDaemon daemon;
+    ExecOptions inproc;
+    inproc.jobs = 2;
+    std::vector<std::pair<std::string, ExecOptions>> backends = {
+        {"inprocess", inproc},
+        {"subprocess", subprocessOpts(2)},
+        {"tcp", tcpOpts({daemon.endpoint()})},
+    };
+
+    for (auto &[tag, opts] : backends) {
+        std::vector<json::Value> events =
+            streamedEvents(suite, opts, tag);
+        ASSERT_EQ(events.size(), 4u) << tag;
+        std::set<std::uint64_t> ids;
+        for (const auto &event : events) {
+            EXPECT_EQ(event.find("event")->str(), "cell") << tag;
+            ids.insert(event.find("id")->asU64());
+            EXPECT_TRUE(event.find("ok")->boolean()) << tag;
+            std::string bench = event.find("bench")->str();
+            std::string arch = event.find("arch")->str();
+            EXPECT_TRUE(bench == "gsmdec" || bench == "stream-4");
+            EXPECT_TRUE(arch == "l0-8" || arch == "l0-4") << arch;
+            EXPECT_TRUE(event.find("wallMs")->isNumber()) << tag;
+            const json::Value *outcome = event.find("outcome");
+            ASSERT_NE(outcome, nullptr) << tag;
+            // The full CellOutcome rides in the event: a dashboard
+            // can reconstruct the run without a second channel.
+            const json::Value *run = outcome->find("run");
+            ASSERT_NE(run, nullptr) << tag;
+            EXPECT_EQ(run->find("bench")->str(), bench) << tag;
+            EXPECT_EQ(run->find("arch")->str(), arch) << tag;
+        }
+        EXPECT_EQ(ids.size(), 4u) << tag << ": duplicate event ids";
+    }
+}
+
+// ---- graceful shutdown ----
+
+TEST(Shutdown, DaemonExitsCleanlyOnSigterm)
+{
+    // Reserve a port for the daemon child (closed before the fork —
+    // a tiny reuse race, harmless in a test runner).
+    std::string error;
+    std::uint16_t port = 0;
+    {
+        net::Fd listener = net::listenTcp(0, error, &port);
+        ASSERT_TRUE(listener.valid()) << error;
+    }
+
+    pid_t daemon = fork();
+    ASSERT_GE(daemon, 0);
+    if (daemon == 0)
+        _exit(driver::cellDaemonMain(port));
+
+    // Wait for the daemon to listen, prove it serves, then SIGTERM.
+    net::Fd conn;
+    for (int attempt = 0; attempt < 200 && !conn.valid(); ++attempt) {
+        conn = net::connectTcp("127.0.0.1", port, error);
+        if (!conn.valid())
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(conn.valid()) << error;
+    ASSERT_EQ(kill(daemon, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(daemon, &status, 0), daemon);
+    EXPECT_TRUE(WIFEXITED(status))
+        << "daemon must exit, not die of the signal";
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+namespace
+{
+
+/** Top-level pids whose parent is @p parent (reads /proc). */
+std::vector<pid_t>
+childrenOf(pid_t parent)
+{
+    std::vector<pid_t> out;
+    DIR *proc = opendir("/proc");
+    if (proc == nullptr)
+        return out;
+    while (dirent *entry = readdir(proc)) {
+        char *end = nullptr;
+        long pid = std::strtol(entry->d_name, &end, 10);
+        if (*end != '\0' || pid <= 0)
+            continue;
+        std::string statPath =
+            "/proc/" + std::string(entry->d_name) + "/stat";
+        std::FILE *f = std::fopen(statPath.c_str(), "r");
+        if (f == nullptr)
+            continue;
+        int ppid = -1;
+        // pid (comm) state ppid — comm may hold spaces, so skip past
+        // the closing paren first.
+        char buf[512];
+        if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+            const char *paren = std::strrchr(buf, ')');
+            if (paren != nullptr)
+                std::sscanf(paren + 1, " %*c %d", &ppid);
+        }
+        std::fclose(f);
+        if (ppid == static_cast<int>(parent))
+            out.push_back(static_cast<pid_t>(pid));
+    }
+    closedir(proc);
+    return out;
+}
+
+} // namespace
+
+TEST(Shutdown, SigtermLeavesNoWorkerChildrenBehind)
+{
+    // A middle process runs a subprocess pool whose workers accept a
+    // job and then sleep forever (--sleep-worker). SIGTERM to the
+    // middle must take the workers down with it — the no-zombie
+    // contract of the child-kill signal handlers.
+    Phase0 p0 = phase0("gsmdec");
+
+    pid_t middle = fork();
+    ASSERT_GE(middle, 0);
+    if (middle == 0) {
+        ExecOptions opts;
+        opts.backend = ExecBackend::Subprocess;
+        opts.jobs = 2;
+        opts.maxRetries = 0;
+        opts.workerCommand = {"/proc/self/exe", "--sleep-worker"};
+        driver::SubprocessExecutor exec(opts);
+        std::vector<CellJob> jobs = {
+            makeJob(0, "gsmdec", "l0-8", p0),
+            makeJob(1, "gsmdec", "l0-4", p0),
+        };
+        exec.execute(jobs); // blocks: workers never reply
+        _exit(0);           // unreachable
+    }
+
+    // Wait until both sleep-workers exist.
+    std::vector<pid_t> workers;
+    for (int attempt = 0; attempt < 500; ++attempt) {
+        workers = childrenOf(middle);
+        if (workers.size() >= 2)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(workers.size(), 2u) << "workers never spawned";
+
+    ASSERT_EQ(kill(middle, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(middle, &status, 0), middle);
+    // The handler re-raises after killing the children, so the middle
+    // still reports death-by-SIGTERM.
+    EXPECT_TRUE(WIFSIGNALED(status));
+    if (WIFSIGNALED(status))
+        EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+    // Every worker must be gone (SIGKILLed, then reaped by init).
+    for (pid_t worker : workers) {
+        bool gone = false;
+        for (int attempt = 0; attempt < 500 && !gone; ++attempt) {
+            gone = kill(worker, 0) != 0;
+            if (!gone)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+        EXPECT_TRUE(gone) << "worker " << worker << " orphaned";
+    }
+}
+
 // ---- main: this binary is its own --cell-worker ----
 
 int
@@ -437,12 +930,24 @@ main(int argc, char **argv)
 {
     int crashAfter = -1;
     bool worker = false;
+    bool sleepWorker = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--cell-worker")
             worker = true;
         else if (arg.rfind("--crash-after=", 0) == 0)
             crashAfter = std::atoi(arg.c_str() + 14);
+        else if (arg == "--sleep-worker")
+            sleepWorker = true;
+    }
+    if (sleepWorker) {
+        // Orphan-cleanup test fodder: accept a job, then hang until
+        // the parent's shutdown handler SIGKILLs us.
+        char buf[65536];
+        if (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+        }
+        for (;;)
+            pause();
     }
     if (worker)
         return driver::cellWorkerMain(stdin, stdout, crashAfter);

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * The src/net transport subsystem: Fd ownership, endpoint parsing,
+ * line framing over partial reads (truncated and oversized frames
+ * are errors, not short lines), the accept-loop server, the daemon's
+ * per-line protocol body, and the --stream event sink.
+ */
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "driver/executor.hh"
+#include "net/framing.hh"
+#include "net/server.hh"
+#include "net/socket.hh"
+
+using namespace l0vliw;
+using net::Fd;
+using net::LineReader;
+
+namespace
+{
+
+/** Is @p fd still an open descriptor? */
+bool
+fdOpen(int fd)
+{
+    return fcntl(fd, F_GETFD) != -1;
+}
+
+/** A connected socket pair (both ends owned). */
+std::pair<Fd, Fd>
+makeSocketPair()
+{
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    return {Fd(fds[0]), Fd(fds[1])};
+}
+
+} // namespace
+
+// ---- Fd ----
+
+TEST(Fd, ClosesOnDestruction)
+{
+    int raw = -1;
+    {
+        int fds[2];
+        ASSERT_EQ(pipe(fds), 0);
+        Fd a(fds[0]), b(fds[1]);
+        raw = fds[0];
+        EXPECT_TRUE(a.valid());
+        EXPECT_TRUE(fdOpen(raw));
+    }
+    EXPECT_FALSE(fdOpen(raw));
+}
+
+TEST(Fd, MoveTransfersOwnership)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    Fd a(fds[0]);
+    Fd keepWrite(fds[1]);
+
+    Fd b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_EQ(b.get(), fds[0]);
+    EXPECT_TRUE(fdOpen(fds[0]));
+
+    Fd c;
+    c = std::move(b);
+    EXPECT_FALSE(b.valid());
+    EXPECT_TRUE(fdOpen(fds[0]));
+
+    // release() hands the fd out without closing.
+    int released = c.release();
+    EXPECT_EQ(released, fds[0]);
+    EXPECT_FALSE(c.valid());
+    EXPECT_TRUE(fdOpen(released));
+    close(released);
+}
+
+TEST(Fd, ResetClosesPrevious)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    Fd a(fds[0]);
+    a.reset(fds[1]);
+    EXPECT_FALSE(fdOpen(fds[0]));
+    EXPECT_TRUE(fdOpen(fds[1]));
+}
+
+// ---- parseHostPort ----
+
+TEST(HostPort, ParsesValidEndpoints)
+{
+    net::HostPort hp;
+    std::string err;
+    ASSERT_TRUE(net::parseHostPort("127.0.0.1:8080", hp, err)) << err;
+    EXPECT_EQ(hp.host, "127.0.0.1");
+    EXPECT_EQ(hp.port, 8080);
+
+    ASSERT_TRUE(net::parseHostPort("worker-3.cluster:65535", hp, err));
+    EXPECT_EQ(hp.host, "worker-3.cluster");
+    EXPECT_EQ(hp.port, 65535);
+
+    ASSERT_TRUE(net::parseHostPort("localhost:1", hp, err));
+    EXPECT_EQ(hp.port, 1);
+}
+
+TEST(HostPort, RejectsMalformedEndpoints)
+{
+    net::HostPort hp;
+    for (const char *bad :
+         {"", "localhost", ":8080", "host:", "host:abc", "host:12x",
+          "host:0", "host:65536", "host:99999999"}) {
+        std::string err;
+        EXPECT_FALSE(net::parseHostPort(bad, hp, err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+// ---- LineReader / writeLine ----
+
+TEST(Framing, SplitsBatchedLines)
+{
+    auto [a, b] = makeSocketPair();
+    std::string err;
+    // Three frames and a fragment arrive in one read.
+    ASSERT_EQ(write(a.get(), "one\ntwo\nthree\nfour", 18), 18);
+
+    LineReader reader(b.get());
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "one");
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "two");
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "three");
+
+    // The fragment completes in a second write.
+    ASSERT_EQ(write(a.get(), "teen\n", 5), 5);
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "fourteen");
+
+    a.reset();
+    EXPECT_EQ(reader.readLine(line, err), LineReader::Status::Eof);
+}
+
+TEST(Framing, ReassemblesPartialReads)
+{
+    auto [a, b] = makeSocketPair();
+    LineReader reader(b.get());
+    std::string line, err;
+
+    // The frame trickles in byte by byte from another thread.
+    std::thread writer([fd = a.get()]() {
+        const char *msg = "partial-frame\n";
+        for (const char *p = msg; *p; ++p)
+            ASSERT_EQ(write(fd, p, 1), 1);
+    });
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "partial-frame");
+    writer.join();
+}
+
+TEST(Framing, TruncatedFrameIsAnErrorNotAShortLine)
+{
+    auto [a, b] = makeSocketPair();
+    ASSERT_EQ(write(a.get(), "complete\nhalf-a-fra", 19), 19);
+    a.reset(); // peer dies mid-frame
+
+    LineReader reader(b.get());
+    std::string line, err;
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "complete");
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Error);
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+TEST(Framing, OversizedFrameIsRejected)
+{
+    auto [a, b] = makeSocketPair();
+    LineReader reader(b.get(), /*maxLine=*/64);
+    std::string big(200, 'x');
+    big += '\n';
+    std::thread writer([&a, &big]() {
+        ASSERT_EQ(write(a.get(), big.data(), big.size()),
+                  static_cast<ssize_t>(big.size()));
+    });
+    std::string line, err;
+    EXPECT_EQ(reader.readLine(line, err), LineReader::Status::Error);
+    EXPECT_NE(err.find("exceeds"), std::string::npos) << err;
+    writer.join();
+}
+
+TEST(Framing, WriteLineRoundTrips)
+{
+    auto [a, b] = makeSocketPair();
+    std::string err;
+    ASSERT_TRUE(net::writeLine(a.get(), "{\"id\":1}", err)) << err;
+    ASSERT_TRUE(net::writeLine(a.get(), "", err)) << err;
+
+    LineReader reader(b.get());
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "{\"id\":1}");
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "");
+}
+
+TEST(Framing, WriteToHungUpPeerFailsWithoutSignal)
+{
+    auto [a, b] = makeSocketPair();
+    b.reset(); // peer gone
+    std::string err;
+    // First write may succeed (buffered); the second must fail with
+    // EPIPE surfaced as an error, not a process-killing SIGPIPE.
+    net::writeLine(a.get(), "x", err);
+    EXPECT_FALSE(net::writeLine(a.get(), "y", err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Framing, ReaderResetDropsStaleBytes)
+{
+    auto [a, b] = makeSocketPair();
+    auto [c, d] = makeSocketPair();
+    ASSERT_EQ(write(a.get(), "stale-no-newline", 16), 16);
+
+    LineReader reader(b.get());
+    // Reconnect: buffered bytes from the dead stream must not leak
+    // into the new one.
+    ASSERT_EQ(write(c.get(), "ignored", 7), 7);
+    reader.reset(d.get());
+    std::string line, err;
+    ASSERT_EQ(write(c.get(), "\n", 1), 1);
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "ignored");
+}
+
+// ---- listen / connect / accept ----
+
+TEST(Socket, LoopbackConnectAndEphemeralPort)
+{
+    std::string err;
+    std::uint16_t port = 0;
+    Fd listener = net::listenTcp(0, err, &port);
+    ASSERT_TRUE(listener.valid()) << err;
+    EXPECT_GT(port, 0);
+
+    std::thread client([&port]() {
+        std::string cerr;
+        Fd conn = net::connectTcp("127.0.0.1", port, cerr);
+        ASSERT_TRUE(conn.valid()) << cerr;
+        std::string werr;
+        EXPECT_TRUE(net::writeLine(conn.get(), "hello", werr)) << werr;
+    });
+
+    Fd accepted = net::acceptConn(listener.get(), err);
+    ASSERT_TRUE(accepted.valid()) << err;
+    LineReader reader(accepted.get());
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
+    EXPECT_EQ(line, "hello");
+    client.join();
+}
+
+TEST(Socket, ConnectToClosedPortFails)
+{
+    // Grab an ephemeral port, then close it: connecting must fail
+    // with a message, not hang.
+    std::string err;
+    std::uint16_t port = 0;
+    {
+        Fd listener = net::listenTcp(0, err, &port);
+        ASSERT_TRUE(listener.valid()) << err;
+    }
+    Fd conn = net::connectTcp("127.0.0.1", port, err);
+    EXPECT_FALSE(conn.valid());
+    EXPECT_FALSE(err.empty());
+}
+
+// ---- Server ----
+
+TEST(Server, EchoesAcrossConnections)
+{
+    net::Server server;
+    std::string err;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line) {
+            return std::optional<std::string>("echo:" + line);
+        },
+        err))
+        << err;
+
+    for (int round = 0; round < 3; ++round) {
+        Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+        ASSERT_TRUE(conn.valid()) << err;
+        LineReader reader(conn.get());
+        for (int i = 0; i < 4; ++i) {
+            std::string msg = "r" + std::to_string(round) + "-m"
+                              + std::to_string(i);
+            ASSERT_TRUE(net::writeLine(conn.get(), msg, err)) << err;
+            std::string reply;
+            ASSERT_EQ(reader.readLine(reply, err),
+                      LineReader::Status::Line)
+                << err;
+            EXPECT_EQ(reply, "echo:" + msg);
+        }
+    }
+    EXPECT_EQ(server.connectionsAccepted(), 3);
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(Server, ServesConcurrentConnections)
+{
+    net::Server server;
+    std::string err;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line) {
+            return std::optional<std::string>(line + line);
+        },
+        err))
+        << err;
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([port = server.port(), c]() {
+            std::string cerr;
+            Fd conn = net::connectTcp("127.0.0.1", port, cerr);
+            ASSERT_TRUE(conn.valid()) << cerr;
+            LineReader reader(conn.get());
+            for (int i = 0; i < 8; ++i) {
+                std::string msg = std::to_string(c * 100 + i);
+                ASSERT_TRUE(net::writeLine(conn.get(), msg, cerr));
+                std::string reply;
+                ASSERT_EQ(reader.readLine(reply, cerr),
+                          LineReader::Status::Line);
+                EXPECT_EQ(reply, msg + msg);
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(server.connectionsAccepted(), 4);
+}
+
+TEST(Server, NulloptHandlerClosesTheConnection)
+{
+    net::Server server;
+    std::string err;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line) {
+            return line == "drop" ? std::nullopt
+                                  : std::optional<std::string>("ok");
+        },
+        err))
+        << err;
+
+    Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    LineReader reader(conn.get());
+    ASSERT_TRUE(net::writeLine(conn.get(), "keep", err));
+    std::string reply;
+    ASSERT_EQ(reader.readLine(reply, err), LineReader::Status::Line);
+    EXPECT_EQ(reply, "ok");
+
+    ASSERT_TRUE(net::writeLine(conn.get(), "drop", err));
+    EXPECT_NE(reader.readLine(reply, err), LineReader::Status::Line);
+}
+
+TEST(Server, StopUnblocksAndIsIdempotent)
+{
+    net::Server server;
+    std::string err;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &) {
+            return std::optional<std::string>("x");
+        },
+        err))
+        << err;
+    // A connection idling mid-stream must not wedge stop().
+    Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    server.stop();
+    server.stop(); // idempotent
+    EXPECT_FALSE(server.running());
+
+    // Stopped means reusable: the object can serve again.
+    net::Server again;
+    ASSERT_TRUE(again.start(
+        0,
+        [](const std::string &) {
+            return std::optional<std::string>("y");
+        },
+        err))
+        << err;
+}
+
+// ---- the daemon's protocol body over the server ----
+
+TEST(CellProtocol, MalformedFramesFailCleanly)
+{
+    for (const char *bad :
+         {"not json", "{\"id\":1}", "{", "[]",
+          "{\"id\":1,\"bench\":\"gsmdec\",\"arch\":\"l0-8\"}"}) {
+        std::string reply = driver::handleCellLine(bad);
+        driver::CellOutcome outcome;
+        std::string err;
+        ASSERT_TRUE(driver::CellOutcome::fromJson(reply, outcome, err))
+            << "reply to a malformed frame must still be a valid "
+               "CellOutcome line: "
+            << err;
+        EXPECT_FALSE(outcome.ok) << bad;
+        EXPECT_FALSE(outcome.error.empty()) << bad;
+    }
+}
+
+TEST(CellProtocol, ServerAnswersJobLines)
+{
+    net::Server server;
+    std::string err;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line) {
+            return std::optional<std::string>(
+                driver::handleCellLine(line));
+        },
+        err))
+        << err;
+
+    Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    LineReader reader(conn.get());
+
+    // A malformed frame then a well-formed (but unresolvable) job:
+    // both come back as failed outcomes on the same connection.
+    ASSERT_TRUE(net::writeLine(conn.get(), "garbage", err));
+    std::string reply;
+    ASSERT_EQ(reader.readLine(reply, err), LineReader::Status::Line);
+    driver::CellOutcome outcome;
+    ASSERT_TRUE(driver::CellOutcome::fromJson(reply, outcome, err));
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.error.find("malformed job"), std::string::npos);
+
+    driver::CellJob job;
+    job.id = 42;
+    job.bench = "no-such-bench";
+    job.arch = "l0-8";
+    ASSERT_TRUE(net::writeLine(conn.get(), job.toJson(), err));
+    ASSERT_EQ(reader.readLine(reply, err), LineReader::Status::Line);
+    ASSERT_TRUE(driver::CellOutcome::fromJson(reply, outcome, err));
+    EXPECT_EQ(outcome.id, 42u);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.error.find("no-such-bench"), std::string::npos);
+}
+
+// ---- OutcomeStream ----
+
+TEST(OutcomeStream, RejectsBadDestinations)
+{
+    std::string err;
+    EXPECT_EQ(driver::OutcomeStream::open("/no/such/dir/events.ndjson",
+                                          err),
+              nullptr);
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_EQ(driver::OutcomeStream::open("fd:9999", err), nullptr);
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_EQ(driver::OutcomeStream::open("fd:x", err), nullptr);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(OutcomeStream, EmitsOneParseableEventPerCell)
+{
+    std::string path =
+        ::testing::TempDir() + "outcome_stream_events.ndjson";
+    {
+        std::string err;
+        auto stream = driver::OutcomeStream::open(path, err);
+        ASSERT_NE(stream, nullptr) << err;
+
+        driver::CellEventFn emit = stream->callback();
+        for (int i = 0; i < 3; ++i) {
+            driver::CellJob job;
+            job.id = static_cast<std::uint64_t>(i);
+            job.bench = "stream-4";
+            job.arch = "l0-" + std::to_string(2 << i);
+            driver::CellOutcome outcome;
+            outcome.id = job.id;
+            outcome.ok = i != 1;
+            if (i == 1)
+                outcome.error = "synthetic failure";
+            emit(job, outcome, 1.5 * i);
+        }
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[16384];
+    int events = 0;
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+        std::string line(buf);
+        ASSERT_FALSE(line.empty());
+        ASSERT_EQ(line.back(), '\n') << "unterminated event frame";
+        line.pop_back();
+        std::string err;
+        auto doc = json::parse(line, &err);
+        ASSERT_TRUE(doc.has_value()) << err;
+        EXPECT_EQ(doc->find("event")->str(), "cell");
+        EXPECT_EQ(doc->find("id")->asU64(),
+                  static_cast<std::uint64_t>(events));
+        EXPECT_EQ(doc->find("bench")->str(), "stream-4");
+        EXPECT_TRUE(doc->find("arch")->isString());
+        EXPECT_TRUE(doc->find("ok")->isBool());
+        EXPECT_EQ(doc->find("ok")->boolean(), events != 1);
+        EXPECT_TRUE(doc->find("wallMs")->isNumber());
+        const json::Value *outcome = doc->find("outcome");
+        ASSERT_NE(outcome, nullptr);
+        EXPECT_TRUE(outcome->isObject());
+        ++events;
+    }
+    std::fclose(f);
+    EXPECT_EQ(events, 3);
+}
