@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "driver/registry.hh"
+#include "net/fault.hh"
 #include "workloads/registry.hh"
 
 namespace l0vliw::driver
@@ -28,6 +29,18 @@ parseJobs(const std::string &val)
     if (val.empty() || *end != '\0' || jobs < 1 || jobs > 4096)
         fatal("--jobs wants a positive integer, got '%s'", val.c_str());
     return static_cast<int>(jobs);
+}
+
+int
+parseCellTimeout(const std::string &val)
+{
+    char *end = nullptr;
+    long ms = std::strtol(val.c_str(), &end, 10);
+    if (val.empty() || *end != '\0' || ms < 0 || ms > 86400000)
+        fatal("--cell-timeout-ms wants milliseconds in [0, 86400000], "
+              "got '%s'",
+              val.c_str());
+    return static_cast<int>(ms);
 }
 
 std::uint16_t
@@ -81,6 +94,12 @@ printLabelsAndExit()
 CliOptions
 parseCli(int argc, char **argv)
 {
+    // Inherited fault injection first: a --cell-worker child or a
+    // daemon launched under L0VLIW_FAULT_INJECT must be faulty before
+    // any transport I/O happens (the flag below re-installs for the
+    // explicit-flag case).
+    net::installFaultPlanFromEnv();
+
     // The hidden worker mode preempts everything: the process becomes
     // an executor worker and never returns to the driver body.
     for (int i = 1; i < argc; ++i) {
@@ -127,6 +146,21 @@ parseCli(int argc, char **argv)
             opts.connect = splitEndpoints(valueOf(i, arg, "--connect"));
         } else if (matches(arg, "--stream")) {
             opts.stream = valueOf(i, arg, "--stream");
+        } else if (matches(arg, "--cell-timeout-ms")) {
+            opts.cellTimeoutMs =
+                parseCellTimeout(valueOf(i, arg, "--cell-timeout-ms"));
+        } else if (matches(arg, "--degrade")) {
+            opts.degrade =
+                parseDegradeMode(valueOf(i, arg, "--degrade"));
+            opts.degradeExplicit = true;
+        } else if (matches(arg, "--fault-inject")) {
+            std::string spec = valueOf(i, arg, "--fault-inject");
+            std::string error;
+            if (!net::installFaultPlanFromSpec(spec, error))
+                fatal("--fault-inject: %s", error.c_str());
+            // Workers this process spawns (--cell-worker children)
+            // inherit the injection through the environment.
+            ::setenv("L0VLIW_FAULT_INJECT", spec.c_str(), 1);
         } else if (matches(arg, "--serve")) {
             servePort = parsePort(valueOf(i, arg, "--serve"));
         } else if (matches(arg, "--format")) {
@@ -139,6 +173,8 @@ parseCli(int argc, char **argv)
                 "          [--executor=inprocess|subprocess|tcp]\n"
                 "          [--connect=host:port[,host:port...]]\n"
                 "          [--stream=<file|fd:N|->]\n"
+                "          [--cell-timeout-ms=N] [--degrade=fail|local]\n"
+                "          [--fault-inject=<spec>]\n"
                 "          [--format=table|csv|json] [--list]\n"
                 "          [--serve=<port>]\n"
                 "          [positional args]\n",
@@ -154,6 +190,11 @@ parseCli(int argc, char **argv)
         std::exit(cellDaemonMain(static_cast<std::uint16_t>(servePort)));
     if (!executorSet)
         opts.executor = execBackendFromEnv();
+    if (opts.cellTimeoutMs < 0) {
+        const char *env = std::getenv("L0VLIW_CELL_TIMEOUT_MS");
+        if (env != nullptr && *env != '\0')
+            opts.cellTimeoutMs = parseCellTimeout(env);
+    }
     return opts;
 }
 
@@ -164,11 +205,17 @@ CliOptions::exec() const
     e.backend = executor;
     e.jobs = jobs;
     e.endpoints = connect;
+    e.cellTimeoutMs = cellTimeoutMs;
+    e.degrade = degrade;
     // --connect without the tcp backend would run the suite locally
     // while *looking* distributed — a silently wrong measurement.
     // (The L0VLIW_CONNECT env default is exempt: it is ambient.)
     if (e.backend != ExecBackend::Tcp && !connect.empty())
         fatal("--connect only applies to --executor tcp");
+    // Same shape of mistake: asking for a degradation policy on a
+    // backend that has no endpoints to degrade from.
+    if (e.backend != ExecBackend::Tcp && degradeExplicit)
+        fatal("--degrade only applies to --executor tcp");
     if (e.backend == ExecBackend::Tcp) {
         if (e.endpoints.empty()) {
             const char *env = std::getenv("L0VLIW_CONNECT");

@@ -23,6 +23,21 @@
  *   --stream=<file|fd:N|->
  *                       emit one NDJSON event per completed cell, as
  *                       it completes, from any executor backend
+ *   --cell-timeout-ms=N per-job wall-clock deadline for the
+ *                       subprocess/tcp backends (0 = off; default:
+ *                       60000 for tcp, off locally; env:
+ *                       L0VLIW_CELL_TIMEOUT_MS)
+ *   --degrade=fail|local
+ *                       what the tcp executor does when every
+ *                       endpoint has permanently failed: fail the
+ *                       remaining cells (default) or drain them
+ *                       through the in-process executor
+ *   --fault-inject=<spec>
+ *                       deterministic transport fault injection (see
+ *                       src/net/fault.hh for the grammar, e.g.
+ *                       seed=7,delay=0..50ms@0.2,drop@0.05); also
+ *                       exported to spawned workers via the
+ *                       L0VLIW_FAULT_INJECT environment
  *   --format=table|csv|json   output sink (default: table)
  *   --list              print every registered architecture and
  *                       workload label (plus the parametric grammars)
@@ -66,6 +81,12 @@ struct CliOptions
     std::vector<std::string> connect;
     /** --stream destination ("" = no event stream). */
     std::string stream;
+    /** --cell-timeout-ms (-1 = backend default; 0 = off). */
+    int cellTimeoutMs = -1;
+    /** --degrade policy for the tcp executor. */
+    DegradeMode degrade = DegradeMode::Fail;
+    /** True when --degrade was given (it only applies to tcp). */
+    bool degradeExplicit = false;
     SinkFormat format = SinkFormat::Table;
     std::vector<std::string> positional;
 

@@ -17,6 +17,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "driver/registry.hh"
 #include "net/framing.hh"
 #include "net/server.hh"
@@ -48,6 +49,17 @@ execBackendFromEnv()
     if (env == nullptr || *env == '\0')
         return ExecBackend::InProcess;
     return parseExecBackend(env);
+}
+
+DegradeMode
+parseDegradeMode(const std::string &name)
+{
+    if (name == "fail")
+        return DegradeMode::Fail;
+    if (name == "local")
+        return DegradeMode::Local;
+    fatal("unknown degrade mode '%s' (expected fail|local)",
+          name.c_str());
 }
 
 // ---- wire encoding ----
@@ -273,6 +285,9 @@ CellOutcome::toJson() const
     out += ok ? "true" : "false";
     if (!error.empty())
         out += ",\"error\":" + json::quote(error);
+    if (reason != FailReason::None)
+        out += ",\"reason\":" + json::quote(failReasonName(reason));
+    out += ",\"attempts\":" + std::to_string(attempts);
     out += ",\"run\":";
     appendBenchmarkRun(out, run);
     out += '}';
@@ -301,6 +316,17 @@ CellOutcome::fromJson(const std::string &text, CellOutcome &out,
     out.ok = ok->boolean();
     if (const json::Value *err = doc->find("error"))
         out.error = err->isString() ? err->str() : std::string();
+    // Tolerant decode: reason/attempts are absent from pre-taxonomy
+    // peers and unknown reason names decode to None, so an old daemon
+    // and a new driver (or vice versa) still interoperate.
+    if (const json::Value *reason = doc->find("reason"))
+        out.reason = reason->isString()
+                         ? failReasonFromName(reason->str())
+                         : FailReason::None;
+    if (const json::Value *attempts = doc->find("attempts"))
+        out.attempts = attempts->isNumber()
+                           ? static_cast<int>(attempts->asI64())
+                           : 1;
     const json::Value *run = doc->find("run");
     if (run == nullptr) {
         error = "missing field 'run'";
@@ -316,6 +342,8 @@ executeCellJob(const CellJob &job)
 {
     CellOutcome out;
     out.id = job.id;
+
+    out.reason = FailReason::JobError; // until proven runnable
 
     std::optional<workloads::Benchmark> bench =
         workloads::workloadRegistry().tryResolve(job.bench);
@@ -334,6 +362,7 @@ executeCellJob(const CellJob &job)
                     + std::to_string(bench->loops.size()) + " loops";
         return out;
     }
+    out.reason = FailReason::None;
 
     auto plans = buildLoopPlans(*bench, *arch, job.unrolls);
     out.run = runCell(*bench, *arch, job.unrolls, plans, &job.baseline);
@@ -347,6 +376,9 @@ namespace
 {
 
 using ExecClock = std::chrono::steady_clock;
+
+/** Mixes pool-thread ordinals into distinct backoff-jitter seeds. */
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
 
 /** Fire ExecOptions.onOutcome for a finished job, when set. */
 void
@@ -379,6 +411,53 @@ runOnPool(int jobs, std::size_t tasks, const Fn &work)
         pool.emplace_back(work);
     for (auto &t : pool)
         t.join();
+}
+
+/** The per-job deadline in effect: explicit value wins (0 = off), the
+ *  backend default otherwise — on for Tcp (a remote cell must resolve
+ *  in bounded time), off locally. -1 means unbounded. */
+int
+effectiveCellTimeoutMs(const ExecOptions &opts)
+{
+    if (opts.cellTimeoutMs >= 0)
+        return opts.cellTimeoutMs == 0 ? -1 : opts.cellTimeoutMs;
+    return opts.backend == ExecBackend::Tcp ? 60000 : -1;
+}
+
+/** The heartbeat interval in effect (Tcp only; 0 = off). */
+int
+effectiveHeartbeatMs(const ExecOptions &opts)
+{
+    if (opts.heartbeatMs >= 0)
+        return opts.heartbeatMs;
+    return opts.backend == ExecBackend::Tcp ? 5000 : 0;
+}
+
+/** The executors' shared retry budget/backoff in RetryPolicy terms. */
+RetryPolicy
+retryPolicyOf(const ExecOptions &opts)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = opts.maxRetries + 1;
+    policy.baseBackoffMs = opts.retryBackoffMs;
+    policy.maxBackoffMs = opts.maxBackoffMs;
+    return policy;
+}
+
+/** Fill the permanent-failure fields of a job that exhausted its
+ *  budget: the prose context plus the structured diagnosis. */
+void
+fillFailedOutcome(CellOutcome &out, const CellJob &job,
+                  const std::string &via, int attempts,
+                  const std::string &lastError, FailReason reason)
+{
+    out.id = job.id;
+    out.ok = false;
+    out.error = "cell " + job.bench + "/" + job.arch + via
+                + " failed after " + std::to_string(attempts)
+                + " attempts: " + lastError;
+    out.reason = reason;
+    out.attempts = attempts;
 }
 
 } // namespace
@@ -480,25 +559,38 @@ untrackChild(pid_t pid)
     }
 }
 
-/** One spawned --cell-worker child and its pipe endpoints. */
+/**
+ * One spawned --cell-worker child and its pipe endpoints. Raw fds (not
+ * stdio) so the parent reads through net::LineReader — which is what
+ * makes the pipe transport deadline-aware (the watchdog) and routes it
+ * through the fault-injection seam like every other transport.
+ */
 struct Child
 {
     pid_t pid = -1;
-    std::FILE *toChild = nullptr;   ///< parent writes jobs here
-    std::FILE *fromChild = nullptr; ///< parent reads outcomes here
+    net::Fd toChild;        ///< parent writes jobs here
+    net::Fd fromChild;      ///< parent reads outcomes here
+    net::LineReader reader; ///< framed reads over fromChild
 
     bool alive() const { return pid > 0; }
 };
 
+/**
+ * Reap a child. @p killFirst force-kills it before waiting — the
+ * watchdog path: a worker that blew its deadline is still computing
+ * and would never notice its job pipe closing, so waitpid without the
+ * SIGKILL would inherit the very hang the deadline bounded.
+ */
 void
-closeChild(Child &child)
+closeChild(Child &child, bool killFirst = false)
 {
-    if (child.pid > 0)
+    if (child.pid > 0) {
         untrackChild(child.pid);
-    if (child.toChild)
-        std::fclose(child.toChild);
-    if (child.fromChild)
-        std::fclose(child.fromChild);
+        if (killFirst)
+            ::kill(child.pid, SIGKILL);
+    }
+    child.toChild.reset();
+    child.fromChild.reset();
     if (child.pid > 0) {
         int status = 0;
         waitpid(child.pid, &status, 0);
@@ -560,19 +652,9 @@ spawnChild(const std::vector<std::string> &command, Child &out,
     close(resultPipe[1]);
     trackChild(pid);
     out.pid = pid;
-    out.toChild = fdopen(jobPipe[1], "w");
-    out.fromChild = fdopen(resultPipe[0], "r");
-    if (out.toChild == nullptr || out.fromChild == nullptr) {
-        // Close the raw fds fdopen did not wrap, or the child never
-        // sees stdin EOF and closeChild's waitpid blocks forever.
-        if (out.toChild == nullptr)
-            close(jobPipe[1]);
-        if (out.fromChild == nullptr)
-            close(resultPipe[0]);
-        error = "fdopen failed";
-        closeChild(out);
-        return false;
-    }
+    out.toChild.reset(jobPipe[1]);
+    out.fromChild.reset(resultPipe[0]);
+    out.reader.reset(resultPipe[0]);
     return true;
 }
 
@@ -602,13 +684,8 @@ SubprocessExecutor::SubprocessExecutor(const ExecOptions &opts)
         // mode; every driver is its own worker.
         opts_.workerCommand = {"/proc/self/exe", "--cell-worker"};
     }
-    // A worker dying mid-write must surface as EPIPE, not kill us —
-    // but only take over the default disposition; a custom handler
-    // installed by the embedding program stays in place.
-    struct sigaction current;
-    if (sigaction(SIGPIPE, nullptr, &current) == 0
-        && current.sa_handler == SIG_DFL)
-        std::signal(SIGPIPE, SIG_IGN);
+    // A worker dying mid-write must surface as EPIPE, not kill us.
+    net::ignoreSigpipe();
     // And ^C mid-suite must take the worker children down with us.
     installChildKillHandlers();
 }
@@ -621,16 +698,20 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
         return outcomes;
 
     std::atomic<std::size_t> next{0};
-    std::atomic<int> spawns{0}, respawns{0}, retries{0};
+    std::atomic<int> spawns{0}, respawns{0}, retries{0}, timeouts{0};
+    const RetryPolicy policy = retryPolicyOf(opts_);
+    const int deadlineMs = effectiveCellTimeoutMs(opts_);
+    std::atomic<std::uint64_t> threadSalt{0};
 
     // One pool thread per child: each claims jobs off the shared
     // index, streams them to its worker, and owns that worker's
-    // lifecycle (respawn on death, bounded retry of the in-flight
-    // job). Failures never throw across threads — they land in the
-    // job's outcome.
+    // lifecycle (respawn on death or deadline, bounded retry of the
+    // in-flight job). Failures never throw across threads — they land
+    // in the job's outcome.
     auto work = [&]() {
         Child child;
         bool everSpawned = false;
+        Rng rng(0x5eedf001u ^ (threadSalt.fetch_add(1) + 1) * kGolden);
         for (;;) {
             std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
@@ -640,15 +721,21 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
 
             CellOutcome result;
             std::string lastError = "worker never started";
+            FailReason lastReason = FailReason::WorkerCrash;
             bool done = false;
-            for (int attempt = 0; attempt <= opts_.maxRetries && !done;
-                 ++attempt) {
-                if (attempt > 0)
+            int attempt = 1;
+            for (; attempt <= policy.maxAttempts && !done; ++attempt) {
+                if (attempt > 1) {
                     retries.fetch_add(1);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            policy.backoffMs(attempt - 1, rng)));
+                }
                 if (!child.alive()) {
                     std::string err;
                     if (!spawnChild(opts_.workerCommand, child, err)) {
                         lastError = err;
+                        lastReason = FailReason::WorkerCrash;
                         continue;
                     }
                     spawns.fetch_add(1);
@@ -657,23 +744,51 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
                     everSpawned = true;
                 }
 
-                if (std::fputs(line.c_str(), child.toChild) < 0
-                    || std::fputc('\n', child.toChild) == EOF
-                    || std::fflush(child.toChild) != 0) {
-                    lastError = "worker died before accepting the job";
+                std::string err;
+                if (!net::writeLine(child.toChild.get(), line, err)) {
+                    lastError =
+                        "worker died before accepting the job: " + err;
+                    lastReason = FailReason::WorkerCrash;
                     closeChild(child);
                     continue;
                 }
 
                 std::string reply;
-                if (!readLine(child.fromChild, reply)) {
-                    lastError = "worker died computing the cell";
-                    closeChild(child);
+                net::LineReader::Status status =
+                    child.reader.readLine(reply, err, deadlineMs);
+                if (status == net::LineReader::Status::Timeout) {
+                    // The watchdog: a worker past its deadline is
+                    // wedged (or the cell is pathological either way);
+                    // SIGKILL it and let the next attempt respawn.
+                    timeouts.fetch_add(1);
+                    lastError = "worker exceeded the "
+                                + std::to_string(deadlineMs)
+                                + "ms cell deadline (killed)";
+                    lastReason = FailReason::Timeout;
+                    closeChild(child, /*killFirst=*/true);
                     continue;
                 }
-                std::string err;
+                if (status != net::LineReader::Status::Line) {
+                    bool offProtocol =
+                        status == net::LineReader::Status::Error
+                        && child.reader.errorKind()
+                               == net::LineReader::ErrorKind::Oversized;
+                    lastError =
+                        status == net::LineReader::Status::Eof
+                            ? std::string("worker died computing the cell")
+                            : "worker stream broke: " + err;
+                    lastReason = offProtocol ? FailReason::FrameCorrupt
+                                             : FailReason::WorkerCrash;
+                    // A broken stream can leave the worker alive and
+                    // mid-compute (it would never see its stdin close);
+                    // kill before reaping. EOF means it is already gone.
+                    closeChild(child,
+                               status == net::LineReader::Status::Error);
+                    continue;
+                }
                 if (!CellOutcome::fromJson(reply, result, err)) {
                     lastError = "malformed worker reply: " + err;
+                    lastReason = FailReason::FrameCorrupt;
                     closeChild(child);
                     continue;
                 }
@@ -682,22 +797,19 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
                                 + std::to_string(result.id)
                                 + " instead of "
                                 + std::to_string(jobs[i].id);
+                    lastReason = FailReason::FrameCorrupt;
                     closeChild(child);
                     continue;
                 }
+                result.attempts = attempt;
                 done = true;
             }
 
             if (done) {
                 outcomes[i] = std::move(result);
             } else {
-                outcomes[i].id = jobs[i].id;
-                outcomes[i].ok = false;
-                outcomes[i].error =
-                    "cell " + jobs[i].bench + "/" + jobs[i].arch
-                    + " failed after "
-                    + std::to_string(opts_.maxRetries + 1)
-                    + " attempts: " + lastError;
+                fillFailedOutcome(outcomes[i], jobs[i], "", attempt - 1,
+                                  lastError, lastReason);
             }
             emitOutcomeEvent(opts_, jobs[i], outcomes[i], start);
         }
@@ -711,6 +823,7 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
     stats_.spawns += spawns.load();
     stats_.respawns += respawns.load();
     stats_.retries += retries.load();
+    stats_.timeouts += timeouts.load();
     return outcomes;
 }
 
@@ -727,6 +840,10 @@ RemoteExecutor::RemoteExecutor(const ExecOptions &opts) : opts_(opts)
         if (!net::parseHostPort(ep, hp, error))
             fatal("--connect: %s", error.c_str());
     }
+    // A daemon hanging up mid-send must be an EPIPE error on the
+    // retry path, not process death (MSG_NOSIGNAL covers writeLine,
+    // but belt and braces for any other write to the socket).
+    net::ignoreSigpipe();
 }
 
 namespace
@@ -841,18 +958,29 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
 
     RemoteQueue queue(jobs.size(),
                       static_cast<int>(opts_.endpoints.size()));
-    std::atomic<int> connects{0}, reconnects{0}, retries{0};
+    std::atomic<int> connects{0}, reconnects{0}, retries{0},
+        timeouts{0};
+    const RetryPolicy policy = retryPolicyOf(opts_);
+    const int deadlineMs = effectiveCellTimeoutMs(opts_);
+    const int heartbeatMs = effectiveHeartbeatMs(opts_);
+
+    // Jobs only the in-process fallback can still resolve (--degrade
+    // local): every endpoint permanently failed them.
+    std::mutex degradeMutex;
+    std::vector<std::size_t> degraded;
 
     // One pool thread per endpoint: each owns one connection and
     // claims jobs off the shared queue, mirroring the subprocess
     // pool's one-thread-one-worker discipline. A dropped connection
-    // re-queues the in-flight job on this thread and reconnects with
-    // attempt-scaled backoff — enough to ride out a daemon restart.
-    // A job that exhausts its budget is handed back to the queue for
-    // the remaining endpoints (this one retires: one dead daemon must
-    // not sink jobs a healthy one could run); only the last endpoint
-    // standing writes permanent failures into outcomes.
-    auto work = [&](const std::string &endpoint) {
+    // re-queues the in-flight job on this thread and reconnects under
+    // the shared jittered RetryPolicy — the jitter keeps N endpoints
+    // from re-stampeding a restarted daemon in lockstep. A job that
+    // exhausts its budget is handed back to the queue for the
+    // remaining endpoints (this one retires: one dead daemon must not
+    // sink jobs a healthy one could run); only the last endpoint
+    // standing writes permanent failures into outcomes (or, under
+    // --degrade local, parks them for the in-process drain).
+    auto work = [&](const std::string &endpoint, std::size_t index) {
         net::HostPort hp;
         std::string parseError;
         if (!net::parseHostPort(endpoint, hp, parseError))
@@ -860,29 +988,42 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
         net::Fd conn;
         net::LineReader reader;
         bool everConnected = false;
+        bool probeDue = false; ///< ping before the next dispatch
+        ExecClock::time_point lastExchange = ExecClock::now();
+        Rng rng(0x7eefca11u ^ (index + 1) * kGolden);
         for (;;) {
             std::size_t i;
             if (!queue.claim(i))
                 break;
             const std::string line = jobs[i].toJson();
 
+            if (heartbeatMs > 0 && conn.valid()) {
+                auto idleMs = std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(
+                                  ExecClock::now() - lastExchange)
+                                  .count();
+                if (idleMs > heartbeatMs)
+                    probeDue = true;
+            }
+
             CellOutcome result;
             std::string lastError = "never connected";
+            FailReason lastReason = FailReason::ConnReset;
             bool done = false;
-            for (int attempt = 0; attempt <= opts_.maxRetries && !done;
-                 ++attempt) {
-                if (attempt > 0) {
+            int attempt = 1;
+            for (; attempt <= policy.maxAttempts && !done; ++attempt) {
+                if (attempt > 1) {
                     retries.fetch_add(1);
-                    if (opts_.retryBackoffMs > 0)
-                        std::this_thread::sleep_for(
-                            std::chrono::milliseconds(
-                                attempt * opts_.retryBackoffMs));
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            policy.backoffMs(attempt - 1, rng)));
                 }
                 std::string err;
                 if (!conn.valid()) {
                     conn = net::connectTcp(hp.host, hp.port, err);
                     if (!conn.valid()) {
                         lastError = err;
+                        lastReason = FailReason::ConnReset;
                         continue;
                     }
                     reader.reset(conn.get());
@@ -890,27 +1031,86 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                     if (everConnected)
                         reconnects.fetch_add(1);
                     everConnected = true;
+                    probeDue = heartbeatMs > 0;
+                }
+
+                if (probeDue) {
+                    // Heartbeat: a daemon that accepts connections but
+                    // never serves its loop (wedged accept thread,
+                    // stalled handler) must cost one bounded probe,
+                    // not a full cell deadline.
+                    if (!net::writeLine(conn.get(), kCellPingLine,
+                                        err)) {
+                        lastError = "ping write failed: " + err;
+                        lastReason = FailReason::ConnReset;
+                        conn.reset();
+                        continue;
+                    }
+                    std::string pong;
+                    net::LineReader::Status st =
+                        reader.readLine(pong, err, heartbeatMs);
+                    if (st == net::LineReader::Status::Timeout) {
+                        timeouts.fetch_add(1);
+                        lastError = "daemon silent: no pong within "
+                                    + std::to_string(heartbeatMs)
+                                    + "ms";
+                        lastReason = FailReason::Timeout;
+                        conn.reset();
+                        continue;
+                    }
+                    if (st != net::LineReader::Status::Line
+                        || pong != kCellPongLine) {
+                        lastError =
+                            st == net::LineReader::Status::Line
+                                ? "daemon answered ping off-protocol"
+                                : "ping probe broke: " + err;
+                        lastReason = FailReason::FrameCorrupt;
+                        conn.reset();
+                        continue;
+                    }
+                    probeDue = false;
+                    lastExchange = ExecClock::now();
                 }
 
                 if (!net::writeLine(conn.get(), line, err)) {
                     lastError =
                         "daemon dropped before accepting the job: " + err;
+                    lastReason = FailReason::ConnReset;
                     conn.reset();
                     continue;
                 }
                 std::string reply;
                 net::LineReader::Status status =
-                    reader.readLine(reply, err);
+                    reader.readLine(reply, err, deadlineMs);
+                if (status == net::LineReader::Status::Timeout) {
+                    // The reply may still arrive later and desync the
+                    // lockstep stream — the connection is unusable.
+                    timeouts.fetch_add(1);
+                    lastError = "cell exceeded the "
+                                + std::to_string(deadlineMs)
+                                + "ms deadline";
+                    lastReason = FailReason::Timeout;
+                    conn.reset();
+                    continue;
+                }
                 if (status != net::LineReader::Status::Line) {
+                    bool offProtocol =
+                        status == net::LineReader::Status::Error
+                        && reader.errorKind()
+                               == net::LineReader::ErrorKind::Oversized;
                     lastError =
                         status == net::LineReader::Status::Eof
                             ? std::string("daemon dropped mid-job")
                             : "framing error: " + err;
+                    lastReason = offProtocol
+                                     ? FailReason::FrameCorrupt
+                                     : FailReason::ConnReset;
                     conn.reset();
                     continue;
                 }
                 if (!CellOutcome::fromJson(reply, result, err)) {
                     lastError = "malformed daemon reply: " + err;
+                    lastReason = FailReason::FrameCorrupt;
                     conn.reset();
                     continue;
                 }
@@ -919,9 +1119,12 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                                 + std::to_string(result.id)
                                 + " instead of "
                                 + std::to_string(jobs[i].id);
+                    lastReason = FailReason::FrameCorrupt;
                     conn.reset();
                     continue;
                 }
+                result.attempts = attempt;
+                lastExchange = ExecClock::now();
                 done = true;
             }
 
@@ -929,14 +1132,20 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                 break; // another endpoint will resolve job i
             if (done) {
                 outcomes[i] = std::move(result);
+            } else if (opts_.degrade == DegradeMode::Local) {
+                // Transport-dead everywhere, but the cell itself may
+                // be fine: park it for the in-process drain. No event
+                // yet — the drain emits the cell's real outcome.
+                {
+                    std::lock_guard<std::mutex> lock(degradeMutex);
+                    degraded.push_back(i);
+                }
+                queue.finish();
+                continue;
             } else {
-                outcomes[i].id = jobs[i].id;
-                outcomes[i].ok = false;
-                outcomes[i].error =
-                    "cell " + jobs[i].bench + "/" + jobs[i].arch + " via "
-                    + endpoint + " failed after "
-                    + std::to_string(opts_.maxRetries + 1)
-                    + " attempts: " + lastError;
+                fillFailedOutcome(outcomes[i], jobs[i],
+                                  " via " + endpoint, attempt - 1,
+                                  lastError, lastReason);
             }
             emitOutcomeEvent(opts_, jobs[i], outcomes[i],
                              queue.firstDispatch(i));
@@ -947,14 +1156,38 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
 
     std::vector<std::thread> pool;
     pool.reserve(opts_.endpoints.size());
-    for (const auto &endpoint : opts_.endpoints)
-        pool.emplace_back(work, endpoint);
+    for (std::size_t e = 0; e < opts_.endpoints.size(); ++e)
+        pool.emplace_back(work, opts_.endpoints[e], e);
     for (auto &t : pool)
         t.join();
 
     stats_.connects += connects.load();
     stats_.reconnects += reconnects.load();
     stats_.retries += retries.load();
+    stats_.timeouts += timeouts.load();
+
+    if (!degraded.empty()) {
+        // Graceful degradation: every endpoint is gone, the grid is
+        // not. Same jobs, same deterministic outcomes — just slower
+        // and local, and loudly so.
+        warn("all %zu endpoint(s) failed; running %zu remaining "
+             "cell(s) in-process (--degrade local)",
+             opts_.endpoints.size(), degraded.size());
+        ExecOptions localOpts;
+        localOpts.backend = ExecBackend::InProcess;
+        localOpts.jobs = opts_.jobs;
+        localOpts.onOutcome = opts_.onOutcome;
+        std::vector<CellJob> localJobs;
+        localJobs.reserve(degraded.size());
+        for (std::size_t i : degraded)
+            localJobs.push_back(jobs[i]);
+        InProcessExecutor local(localOpts);
+        std::vector<CellOutcome> localOutcomes =
+            local.execute(localJobs);
+        for (std::size_t k = 0; k < degraded.size(); ++k)
+            outcomes[degraded[k]] = std::move(localOutcomes[k]);
+        stats_.degradedLocal += static_cast<int>(degraded.size());
+    }
     return outcomes;
 }
 
@@ -974,9 +1207,14 @@ makeExecutor(const ExecOptions &opts)
 
 // ---- the worker loop ----
 
+const char *const kCellPingLine = "{\"event\":\"ping\"}";
+const char *const kCellPongLine = "{\"event\":\"pong\"}";
+
 std::string
 handleCellLine(const std::string &line)
 {
+    if (line == kCellPingLine)
+        return kCellPongLine;
     CellJob job;
     std::string err;
     CellOutcome outcome;
@@ -985,6 +1223,7 @@ handleCellLine(const std::string &line)
     } else {
         outcome.ok = false;
         outcome.error = "malformed job: " + err;
+        outcome.reason = FailReason::FrameCorrupt;
     }
     return outcome.toJson();
 }
@@ -992,6 +1231,9 @@ handleCellLine(const std::string &line)
 int
 cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter)
 {
+    // The parent dying mid-reply must be a write error (the return 1
+    // below), not a SIGPIPE death that looks like a worker crash.
+    net::ignoreSigpipe();
     if (exitAfter == 0)
         _exit(3); // crash-path test hook: die before the first job
 
@@ -1043,6 +1285,9 @@ cellDaemonMain(std::uint16_t port)
     sigemptyset(&sa.sa_mask);
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
+    // A client vanishing mid-reply is that connection's problem, not
+    // the daemon's: EPIPE on the write, connection closed, daemon on.
+    net::ignoreSigpipe();
 
     std::atomic<std::uint64_t> served{0};
     net::Server server;
@@ -1126,6 +1371,10 @@ OutcomeStream::write(const CellJob &job, const CellOutcome &outcome,
     event += ",\"arch\":" + json::quote(job.arch);
     event += ",\"ok\":";
     event += outcome.ok ? "true" : "false";
+    if (!outcome.ok && outcome.reason != FailReason::None)
+        event += ",\"reason\":"
+                 + json::quote(failReasonName(outcome.reason));
+    event += ",\"attempts\":" + std::to_string(outcome.attempts);
     event += ",\"wallMs\":" + json::fromDouble(wallMs);
     event += ",\"outcome\":" + outcome.toJson();
     event += '}';

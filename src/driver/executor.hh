@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/retry.hh"
 #include "driver/runner.hh"
 
 namespace l0vliw::driver
@@ -71,6 +72,17 @@ ExecBackend parseExecBackend(const std::string &name);
 
 /** The L0VLIW_EXECUTOR environment default (InProcess when unset). */
 ExecBackend execBackendFromEnv();
+
+/** What RemoteExecutor does once every endpoint has permanently
+ *  failed (the drivers' --degrade). */
+enum class DegradeMode
+{
+    Fail,  ///< remaining jobs fail in their outcomes (classic)
+    Local, ///< drain remaining jobs through an InProcessExecutor
+};
+
+/** Parse "fail" | "local" (fatal otherwise). */
+DegradeMode parseDegradeMode(const std::string &name);
 
 struct CellJob;
 struct CellOutcome;
@@ -104,9 +116,36 @@ struct ExecOptions
      * twice for two concurrent streams into it.
      */
     std::vector<std::string> endpoints;
-    /** Tcp: per-attempt reconnect backoff (attempt-scaled, so the
-     *  budget rides out a daemon restart). */
+    /**
+     * Subprocess/Tcp: base retry backoff. Attempt k waits
+     * base * 2^(k-1) capped at maxBackoffMs, jittered +/- 50%
+     * (RetryPolicy) — the jitter keeps N connections to a restarted
+     * daemon from re-stampeding it in lockstep.
+     */
     int retryBackoffMs = 50;
+    /** Subprocess/Tcp: backoff cap before jitter. */
+    int maxBackoffMs = 2000;
+    /**
+     * Per-job wall-clock deadline (the drivers' --cell-timeout-ms).
+     * < 0 is the backend default: 60000 for Tcp (a remote cell must
+     * resolve in bounded time), off locally. 0 disables explicitly.
+     * Subprocess: the parent's watchdog SIGKILLs and respawns a
+     * worker that blows the deadline. InProcess: not applicable (a
+     * compute thread cannot be safely preempted; cells are pure
+     * deterministic functions, so locally a slow cell is just slow).
+     */
+    int cellTimeoutMs = -1;
+    /**
+     * Tcp: heartbeat interval. A {"event":"ping"} probe goes out on
+     * fresh connections and connections idle longer than this, and
+     * the daemon must pong within the same bound — a silent (accepted
+     * but wedged) daemon is detected in bounded time instead of
+     * swallowing a job for its full deadline. < 0 is the backend
+     * default (5000 for Tcp); 0 disables.
+     */
+    int heartbeatMs = -1;
+    /** Tcp: what happens when every endpoint permanently fails. */
+    DegradeMode degrade = DegradeMode::Fail;
     /** Fires once per job with its final outcome; see CellEventFn. */
     CellEventFn onOutcome;
 };
@@ -134,8 +173,13 @@ struct CellOutcome
 {
     std::uint64_t id = 0;
     bool ok = false;
-    std::string error; ///< set when !ok
-    BenchmarkRun run;  ///< the full aggregated cell run
+    std::string error; ///< set when !ok (prose for humans)
+    /** Structured diagnosis when !ok (machine-readable counterpart of
+     *  error; see FailReason). None on ok outcomes. */
+    FailReason reason = FailReason::None;
+    /** Transport attempts the final outcome cost (1 = first try). */
+    int attempts = 1;
+    BenchmarkRun run; ///< the full aggregated cell run
 
     std::string toJson() const;
     static bool fromJson(const std::string &text, CellOutcome &out,
@@ -191,6 +235,7 @@ class SubprocessExecutor : public Executor
         int spawns = 0;   ///< children started (initial + respawns)
         int respawns = 0; ///< children restarted after dying
         int retries = 0;  ///< jobs re-sent after a worker death
+        int timeouts = 0; ///< watchdog SIGKILLs of deadline-blowers
     };
 
     explicit SubprocessExecutor(const ExecOptions &opts);
@@ -214,6 +259,8 @@ class RemoteExecutor : public Executor
         int connects = 0;   ///< connections established (initial + re)
         int reconnects = 0; ///< connections re-established after a drop
         int retries = 0;    ///< jobs re-sent after a drop/connect fail
+        int timeouts = 0;   ///< deadline/heartbeat expiries observed
+        int degradedLocal = 0; ///< jobs drained in-process (--degrade)
     };
 
     /** Fatal on an empty or malformed ExecOptions.endpoints list. */
@@ -241,10 +288,21 @@ std::unique_ptr<Executor> makeExecutor(const ExecOptions &opts);
 int cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter = -1);
 
 /**
+ * The heartbeat probe frames. A client sends kCellPingLine on a fresh
+ * or idle connection; every executing side (handleCellLine, so the
+ * daemon, the --cell-worker loop, and in-process test daemons alike)
+ * answers kCellPongLine immediately — proof the peer is not merely
+ * accepting bytes but actually serving its protocol loop.
+ */
+extern const char *const kCellPingLine;
+extern const char *const kCellPongLine;
+
+/**
  * One protocol round trip, transport-free: decode a CellJob line,
  * execute it, encode the CellOutcome line. Malformed frames come back
- * as a failed outcome (id 0), never a crash — both the --cell-worker
- * loop and the --serve daemon are this function behind a transport.
+ * as a failed outcome (id 0, reason frame-corrupt), never a crash —
+ * both the --cell-worker loop and the --serve daemon are this
+ * function behind a transport. kCellPingLine answers kCellPongLine.
  */
 std::string handleCellLine(const std::string &line);
 
@@ -264,7 +322,11 @@ int cellDaemonMain(std::uint16_t port);
  * flushed per event). Event schema (src/driver/README.md):
  *
  *   {"event":"cell","id":7,"bench":"gsmdec","arch":"l0-8",
- *    "ok":true,"wallMs":12.5,"outcome":{...full CellOutcome...}}
+ *    "ok":true,"attempts":1,"wallMs":12.5,
+ *    "outcome":{...full CellOutcome...}}
+ *
+ * A failed cell additionally carries "reason":"<failReasonName>" so a
+ * consumer can diagnose without parsing prose.
  */
 class OutcomeStream
 {

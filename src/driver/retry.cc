@@ -1,0 +1,59 @@
+#include "driver/retry.hh"
+
+namespace l0vliw
+{
+
+const char *
+failReasonName(FailReason reason)
+{
+    switch (reason) {
+      case FailReason::Timeout:
+        return "timeout";
+      case FailReason::WorkerCrash:
+        return "worker-crash";
+      case FailReason::FrameCorrupt:
+        return "frame-corrupt";
+      case FailReason::ConnReset:
+        return "conn-reset";
+      case FailReason::JobError:
+        return "job-error";
+      case FailReason::None:
+        break;
+    }
+    return "";
+}
+
+FailReason
+failReasonFromName(const std::string &name)
+{
+    if (name == "timeout")
+        return FailReason::Timeout;
+    if (name == "worker-crash")
+        return FailReason::WorkerCrash;
+    if (name == "frame-corrupt")
+        return FailReason::FrameCorrupt;
+    if (name == "conn-reset")
+        return FailReason::ConnReset;
+    if (name == "job-error")
+        return FailReason::JobError;
+    return FailReason::None;
+}
+
+int
+RetryPolicy::backoffMs(int attempt, Rng &rng) const
+{
+    if (baseBackoffMs <= 0)
+        return 0;
+    // Cap the shift, not just the product: attempt counts in the
+    // hundreds must not overflow the multiply before the cap applies.
+    long wait = baseBackoffMs;
+    for (int i = 1; i < attempt && wait < maxBackoffMs; ++i)
+        wait *= 2;
+    if (wait > maxBackoffMs)
+        wait = maxBackoffMs;
+    double scale = 1.0 + jitterFrac * (2.0 * rng.real() - 1.0);
+    long jittered = static_cast<long>(wait * scale);
+    return jittered < 0 ? 0 : static_cast<int>(jittered);
+}
+
+} // namespace l0vliw

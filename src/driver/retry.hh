@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The one retry/backoff policy shared by every executor, plus the
+ * structured failure-reason taxonomy carried through CellOutcome and
+ * --stream events.
+ *
+ * Before this existed, RemoteExecutor and SubprocessExecutor each grew
+ * an ad-hoc retry loop with different backoff shapes — and the remote
+ * one was deterministic (attempt * base), so N connections to a
+ * restarted daemon woke in lockstep and re-stampeded it. RetryPolicy
+ * is capped exponential backoff with uniform jitter: attempts spread
+ * out, the cap keeps the worst-case wait bounded, and both executors
+ * now describe their budget in the same vocabulary.
+ *
+ * FailReason is the diagnosis side: when a cell fails for good, the
+ * executor records *why* in transport terms (timeout, worker-crash,
+ * frame-corrupt, conn-reset, job-error) rather than only a prose
+ * string, so a chaos run's failures can be asserted on and a
+ * production run's failures can be aggregated.
+ */
+
+#ifndef L0VLIW_DRIVER_RETRY_HH
+#define L0VLIW_DRIVER_RETRY_HH
+
+#include <string>
+
+#include "common/rng.hh"
+
+namespace l0vliw
+{
+
+/** Why a cell (or transport attempt) ultimately failed. */
+enum class FailReason
+{
+    None,         ///< no failure (or unclassified legacy outcome)
+    Timeout,      ///< deadline or heartbeat expired
+    WorkerCrash,  ///< subprocess worker died / could not be spawned
+    FrameCorrupt, ///< malformed or mismatched protocol frame
+    ConnReset,    ///< TCP connection lost / could not be established
+    JobError,     ///< the job itself is unrunnable (bad label, ...)
+};
+
+/** Wire/CLI name of @p reason ("timeout", "worker-crash", ...);
+ *  empty for None. */
+const char *failReasonName(FailReason reason);
+
+/** Inverse of failReasonName; unknown names decode to None (forward
+ *  compatibility: an old driver reading a new daemon's outcome). */
+FailReason failReasonFromName(const std::string &name);
+
+/**
+ * Capped exponential backoff with uniform jitter.
+ *
+ * Attempt k (1-based) waits base * 2^(k-1), capped at maxBackoffMs,
+ * then scaled by a uniform draw from [1 - jitter, 1 + jitter]. Each
+ * caller passes its own Rng so concurrent connection threads draw
+ * independent jitter — the whole point of having any.
+ */
+struct RetryPolicy
+{
+    int maxAttempts = 3;     ///< total tries, first one included
+    int baseBackoffMs = 50;  ///< wait after the first failure
+    int maxBackoffMs = 2000; ///< cap before jitter
+    double jitterFrac = 0.5; ///< +/- fraction applied to the wait
+
+    /** The wait before retry number @p attempt (1-based: the wait
+     *  after the first failure is backoffMs(1, ...)). */
+    int backoffMs(int attempt, Rng &rng) const;
+
+    /** True while @p attempt (1-based) is within the budget. */
+    bool
+    shouldRetry(int attempt) const
+    {
+        return attempt < maxAttempts;
+    }
+};
+
+} // namespace l0vliw
+
+#endif // L0VLIW_DRIVER_RETRY_HH

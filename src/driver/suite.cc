@@ -186,7 +186,11 @@ Suite::run(const ExecOptions &exec) const
         if (archs[a].label == "unified")
             continue;
         CellJob job;
-        job.id = jobs.size();
+        // Ids start at 1: an executing side that receives a corrupted
+        // or malformed frame replies with a failed id-0 outcome
+        // (handleCellLine), and that sentinel must never match a real
+        // job — the client retries instead of adopting the failure.
+        job.id = jobs.size() + 1;
         job.bench = state_->spec.benchmarks[b];
         job.arch = archs[a].label;
         job.unrolls = unrolls[b];

@@ -1,18 +1,22 @@
 #include "net/framing.hh"
 
-#include <cerrno>
-#include <cstring>
+#include <chrono>
 
-#include <sys/socket.h>
-#include <unistd.h>
+#include "net/fault.hh"
 
 namespace l0vliw::net
 {
 
 LineReader::Status
-LineReader::readLine(std::string &out, std::string &error)
+LineReader::readLine(std::string &out, std::string &error,
+                     int deadlineMs)
 {
     out.clear();
+    errorKind_ = ErrorKind::None;
+    auto start = std::chrono::steady_clock::now();
+    std::shared_ptr<FaultPlan> plan = activeFaultPlan();
+    FaultyStream stream(fd_, plan.get());
+
     for (;;) {
         // Resume the terminator scan where the last read left off —
         // rescanning from 0 per 4KB chunk would be quadratic in frame
@@ -31,29 +35,47 @@ LineReader::readLine(std::string &out, std::string &error)
         if (nl != std::string::npos || buf_.size() > maxLine_) {
             error = "frame exceeds the " + std::to_string(maxLine_)
                     + "-byte bound";
+            errorKind_ = ErrorKind::Oversized;
             buf_.clear();
             scanned_ = 0;
             return Status::Error;
         }
 
+        int remainingMs = -1;
+        if (deadlineMs >= 0) {
+            auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            remainingMs = deadlineMs - static_cast<int>(elapsed);
+            if (remainingMs < 0)
+                remainingMs = 0;
+        }
+
         char chunk[4096];
-        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        bool timedOut = false;
+        ssize_t n = stream.read(chunk, sizeof(chunk), remainingMs,
+                                timedOut, error);
         if (n > 0) {
             buf_.append(chunk, static_cast<std::size_t>(n));
             continue;
+        }
+        if (timedOut) {
+            // Partial bytes stay buffered: the frame is merely late,
+            // and a retried read with a fresh budget may complete it.
+            return Status::Timeout;
         }
         if (n == 0) {
             if (buf_.empty())
                 return Status::Eof;
             error = "stream ended mid-frame (" + std::to_string(buf_.size())
                     + " bytes of truncated frame)";
+            errorKind_ = ErrorKind::Truncated;
             buf_.clear();
             scanned_ = 0;
             return Status::Error;
         }
-        if (errno == EINTR)
-            continue;
-        error = std::string("read: ") + std::strerror(errno);
+        errorKind_ = ErrorKind::Io;
         return Status::Error;
     }
 }
@@ -63,24 +85,9 @@ writeLine(int fd, const std::string &line, std::string &error)
 {
     std::string frame = line;
     frame += '\n';
-    std::size_t off = 0;
-    while (off < frame.size()) {
-        // MSG_NOSIGNAL keeps a hung-up socket peer an EPIPE error
-        // instead of a process-killing SIGPIPE; pipes (ENOTSOCK) fall
-        // back to plain write and the executor's SIGPIPE disposition.
-        ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
-                           MSG_NOSIGNAL);
-        if (n < 0 && errno == ENOTSOCK)
-            n = ::write(fd, frame.data() + off, frame.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            error = std::string("write: ") + std::strerror(errno);
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
+    std::shared_ptr<FaultPlan> plan = activeFaultPlan();
+    FaultyStream stream(fd, plan.get());
+    return stream.writeAll(frame.data(), frame.size(), error);
 }
 
 } // namespace l0vliw::net

@@ -12,6 +12,13 @@
  * bound is rejected before it can grow without limit. writeLine is the
  * mirror image: it survives partial writes and EINTR, and appends the
  * terminator itself so a frame can never go out split.
+ *
+ * Reads are deadline-aware: readLine takes an optional wall-clock
+ * budget (poll-based) and reports Timeout when the peer stays silent
+ * past it — the primitive the executors' per-job deadlines, heartbeat
+ * probes, and worker watchdogs are built on. All raw I/O is routed
+ * through net::FaultyStream, so an installed FaultPlan (--fault-inject)
+ * exercises every transport through this one seam.
  */
 
 #ifndef L0VLIW_NET_FRAMING_HH
@@ -29,9 +36,20 @@ class LineReader
   public:
     enum class Status
     {
-        Line,  ///< one complete frame delivered
-        Eof,   ///< clean end of stream at a frame boundary
-        Error, ///< read error, truncated frame, or oversized frame
+        Line,    ///< one complete frame delivered
+        Eof,     ///< clean end of stream at a frame boundary
+        Timeout, ///< deadline expired before a complete frame
+        Error,   ///< read error, truncated frame, or oversized frame
+    };
+
+    /** Why the last Error happened, machine-readably — the transport
+     *  evidence the executors map to structured failure reasons. */
+    enum class ErrorKind
+    {
+        None,
+        Io,        ///< read(2)/poll(2) failed (reset, EPIPE, ...)
+        Truncated, ///< EOF mid-frame: peer died while writing
+        Oversized, ///< frame exceeded the byte bound: off-protocol peer
     };
 
     /**
@@ -54,20 +72,29 @@ class LineReader
         fd_ = fd;
         buf_.clear();
         scanned_ = 0;
+        errorKind_ = ErrorKind::None;
     }
 
     /**
      * Deliver the next frame into @p out (terminator stripped).
-     * Blocks until a full frame, EOF, or an error; on Error @p error
-     * says why.
+     * With @p deadlineMs < 0, blocks until a full frame, EOF, or an
+     * error; otherwise returns Timeout once @p deadlineMs of wall
+     * clock passes without one (buffered partial bytes are kept — a
+     * retried read with a fresh budget resumes the same frame). On
+     * Error @p error says why and errorKind() says which kind.
      */
-    Status readLine(std::string &out, std::string &error);
+    Status readLine(std::string &out, std::string &error,
+                    int deadlineMs = -1);
+
+    /** The classification of the most recent Error (None otherwise). */
+    ErrorKind errorKind() const { return errorKind_; }
 
   private:
     int fd_ = -1;
     std::size_t maxLine_;
     std::string buf_; ///< bytes received past the last delivered frame
     std::size_t scanned_ = 0; ///< buf_ prefix known terminator-free
+    ErrorKind errorKind_ = ErrorKind::None;
 };
 
 /**

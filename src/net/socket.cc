@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <csignal>
+
 #include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
@@ -245,6 +247,18 @@ connectTcp(const std::string &host, std::uint16_t port,
     }
     ::freeaddrinfo(res);
     return fd;
+}
+
+void
+ignoreSigpipe()
+{
+    struct sigaction current{};
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0
+        && current.sa_handler == SIG_DFL) {
+        struct sigaction ignore{};
+        ignore.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ignore, nullptr);
+    }
 }
 
 } // namespace l0vliw::net

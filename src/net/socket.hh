@@ -94,6 +94,17 @@ Fd acceptConn(int listenFd, std::string &error);
 Fd connectTcp(const std::string &host, std::uint16_t port,
               std::string &error);
 
+/**
+ * Ignore SIGPIPE process-wide so a peer-closed socket or pipe is an
+ * EPIPE write error (handled on the retry path) instead of process
+ * death. MSG_NOSIGNAL already covers socket sends, but pipe writes to
+ * a dead --cell-worker and stdio fallbacks have no per-call opt-out.
+ * Installs SIG_IGN only over SIG_DFL — an embedding application's own
+ * handler is left alone. Idempotent; called by every component that
+ * writes to a peer (daemon, executors, workers).
+ */
+void ignoreSigpipe();
+
 } // namespace l0vliw::net
 
 #endif // L0VLIW_NET_SOCKET_HH

@@ -10,19 +10,32 @@
  *
  * This test carries its own main(): the SubprocessExecutor re-executes
  * /proc/self/exe as a --cell-worker, so this binary doubles as its own
- * worker (with a --crash-after=N hook for the death tests and a
- * --sleep-worker hook for the orphan-cleanup test).
+ * worker (with a --crash-after=N hook for the death tests, a
+ * --sleep-worker hook for the orphan-cleanup test, and a --hang hook
+ * for the deadline-watchdog test).
+ *
+ * The reliability layer is covered here too: the subprocess deadline
+ * watchdog, the TCP heartbeat against a silent daemon, --degrade
+ * local draining a suite with every daemon down, failed --stream
+ * events carrying reason + attempts, and a 20-seed chaos soak
+ * (src/net/fault.hh) asserting every seed terminates with cells that
+ * are bit-identical to an in-process run or carry an explicit
+ * failure reason — never a hang.
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include <dirent.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -33,6 +46,7 @@
 #include "driver/registry.hh"
 #include "driver/runner.hh"
 #include "driver/suite.hh"
+#include "net/fault.hh"
 #include "net/server.hh"
 #include "net/socket.hh"
 #include "workloads/registry.hh"
@@ -923,6 +937,305 @@ TEST(Shutdown, SigtermLeavesNoWorkerChildrenBehind)
     }
 }
 
+// ---- deadlines, heartbeats, degradation ----
+
+namespace
+{
+
+double
+elapsedMsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+TEST(SubprocessExecutor, WatchdogKillsHungWorker)
+{
+    // Workers accept the job and never reply (--hang): every attempt
+    // must end in a bounded-deadline SIGKILL + respawn, not a pool
+    // hang, and the final outcome must say so in transport terms.
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs = {makeJob(0, "gsmdec", "l0-8", p0)};
+
+    ExecOptions opts;
+    opts.backend = ExecBackend::Subprocess;
+    opts.jobs = 1;
+    opts.maxRetries = 1;
+    opts.retryBackoffMs = 1;
+    opts.maxBackoffMs = 5;
+    opts.cellTimeoutMs = 200;
+    opts.workerCommand = {"/proc/self/exe", "--hang"};
+
+    auto start = std::chrono::steady_clock::now();
+    driver::SubprocessExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+    double elapsedMs = elapsedMsSince(start);
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].reason, FailReason::Timeout);
+    EXPECT_NE(outcomes[0].error.find("deadline"), std::string::npos)
+        << outcomes[0].error;
+    EXPECT_EQ(outcomes[0].attempts, 2);
+    EXPECT_EQ(exec.stats().timeouts, 2);
+    EXPECT_EQ(exec.stats().respawns, 1);
+    // Two 200ms deadlines plus spawn overhead — bounded, not a hang.
+    EXPECT_GE(elapsedMs, 350.0);
+    EXPECT_LT(elapsedMs, 10000.0);
+}
+
+TEST(RemoteExecutor, HeartbeatDetectsSilentDaemon)
+{
+    // A listener that accepts connections but never serves the
+    // protocol loop: without heartbeats every job would burn its full
+    // cell deadline against the silence. The ping probe must detect
+    // the wedge within heartbeatMs instead.
+    std::string error;
+    std::uint16_t port = 0;
+    net::Fd listener = net::listenTcp(0, error, &port);
+    ASSERT_TRUE(listener.valid()) << error;
+    std::mutex heldMutex;
+    std::vector<net::Fd> held; ///< keep accepted conns open, silent
+    std::thread acceptor([&]() {
+        for (;;) {
+            std::string acceptError;
+            net::Fd conn = net::acceptConn(listener.get(), acceptError);
+            if (!conn.valid())
+                return;
+            std::lock_guard<std::mutex> lock(heldMutex);
+            held.push_back(std::move(conn));
+        }
+    });
+
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs = {makeJob(0, "gsmdec", "l0-8", p0)};
+
+    ExecOptions opts =
+        tcpOpts({"127.0.0.1:" + std::to_string(port)}, /*maxRetries=*/1);
+    opts.retryBackoffMs = 1;
+    opts.maxBackoffMs = 5;
+    opts.heartbeatMs = 100;
+    opts.cellTimeoutMs = 60000; // the probe must fire long before this
+
+    auto start = std::chrono::steady_clock::now();
+    driver::RemoteExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+    double elapsedMs = elapsedMsSince(start);
+
+    ::shutdown(listener.get(), SHUT_RDWR); // wake the accept loop
+    acceptor.join();
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].reason, FailReason::Timeout);
+    EXPECT_NE(outcomes[0].error.find("silent"), std::string::npos)
+        << outcomes[0].error;
+    EXPECT_EQ(outcomes[0].attempts, 2);
+    EXPECT_EQ(exec.stats().timeouts, 2);
+    // Two 100ms pong deadlines, nowhere near the 60s cell deadline.
+    EXPECT_GE(elapsedMs, 150.0);
+    EXPECT_LT(elapsedMs, 10000.0);
+}
+
+TEST(RemoteExecutor, DegradeLocalCompletesSuiteWithAllDaemonsDown)
+{
+    // Two reserved-then-closed ports: every endpoint permanently
+    // fails. --degrade local must drain the whole grid through the
+    // in-process executor — bit-identical outcomes, exactly one
+    // (authoritative, successful) event per cell.
+    std::string error;
+    std::vector<std::string> dead;
+    for (int e = 0; e < 2; ++e) {
+        std::uint16_t port = 0;
+        net::Fd listener = net::listenTcp(0, error, &port);
+        ASSERT_TRUE(listener.valid()) << error;
+        dead.push_back("127.0.0.1:" + std::to_string(port));
+    }
+
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back(
+            makeJob(i, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    ExecOptions inproc;
+    inproc.jobs = 2;
+    std::vector<CellOutcome> reference =
+        driver::InProcessExecutor(inproc).execute(jobs);
+
+    std::mutex eventMutex;
+    std::vector<std::pair<std::uint64_t, bool>> events;
+    ExecOptions opts = tcpOpts(dead, /*maxRetries=*/1);
+    opts.retryBackoffMs = 1;
+    opts.maxBackoffMs = 5;
+    opts.degrade = driver::DegradeMode::Local;
+    opts.onOutcome = [&](const CellJob &job,
+                         const CellOutcome &outcome, double) {
+        std::lock_guard<std::mutex> lock(eventMutex);
+        events.emplace_back(job.id, outcome.ok);
+    };
+    driver::RemoteExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        EXPECT_EQ(outcomes[i].id, jobs[i].id);
+        ASSERT_TRUE(reference[i].ok) << reference[i].error;
+        expectRunsEqual(reference[i].run, outcomes[i].run);
+    }
+    EXPECT_EQ(exec.stats().degradedLocal, 6);
+    ASSERT_EQ(events.size(), jobs.size());
+    std::set<std::uint64_t> eventIds;
+    for (const auto &[id, ok] : events) {
+        EXPECT_TRUE(ok);
+        eventIds.insert(id);
+    }
+    EXPECT_EQ(eventIds.size(), jobs.size())
+        << "parked cells must emit exactly one event, from the drain";
+}
+
+TEST(Stream, FailedCellEventsCarryReasonAndAttempts)
+{
+    // A permanently refused endpoint under --degrade fail: the failed
+    // cell's stream event must carry the structured diagnosis, not
+    // just prose — "reason" at the event level and inside the
+    // embedded outcome, plus the attempt count the failure cost.
+    std::string error;
+    std::uint16_t port = 0;
+    {
+        net::Fd listener = net::listenTcp(0, error, &port);
+        ASSERT_TRUE(listener.valid()) << error;
+    }
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs = {makeJob(3, "gsmdec", "l0-8", p0)};
+
+    std::string path = ::testing::TempDir() + "events_failed.ndjson";
+    {
+        auto stream = driver::OutcomeStream::open(path, error);
+        ASSERT_NE(stream, nullptr) << error;
+        ExecOptions opts = tcpOpts(
+            {"127.0.0.1:" + std::to_string(port)}, /*maxRetries=*/1);
+        opts.retryBackoffMs = 1;
+        opts.maxBackoffMs = 5;
+        opts.onOutcome = stream->callback();
+        driver::RemoteExecutor exec(opts);
+        std::vector<CellOutcome> outcomes = exec.execute(jobs);
+        ASSERT_EQ(outcomes.size(), 1u);
+        EXPECT_FALSE(outcomes[0].ok);
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[65536];
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_EQ(std::fgets(buf + std::strlen(buf), 2, f), nullptr)
+        << "exactly one event expected";
+    std::fclose(f);
+    std::string line(buf);
+    ASSERT_EQ(line.back(), '\n');
+    line.pop_back();
+
+    auto event = json::parse(line, &error);
+    ASSERT_TRUE(event.has_value()) << error << " in: " << line;
+    EXPECT_EQ(event->find("event")->str(), "cell");
+    EXPECT_EQ(event->find("id")->asU64(), 3u);
+    EXPECT_FALSE(event->find("ok")->boolean());
+    const json::Value *reason = event->find("reason");
+    ASSERT_NE(reason, nullptr);
+    EXPECT_EQ(reason->str(),
+              failReasonName(FailReason::ConnReset));
+    const json::Value *attempts = event->find("attempts");
+    ASSERT_NE(attempts, nullptr);
+    EXPECT_EQ(attempts->asU64(), 2u);
+    const json::Value *outcome = event->find("outcome");
+    ASSERT_NE(outcome, nullptr);
+    ASSERT_NE(outcome->find("reason"), nullptr);
+    EXPECT_EQ(outcome->find("reason")->str(), reason->str());
+}
+
+// ---- the chaos soak ----
+
+TEST(ChaosSoak, TwentySeedsBitIdenticalOrDiagnosedNeverHung)
+{
+    // The payoff of the whole reliability layer: 20 consecutive fault
+    // seeds over a loopback distributed suite (faults hit both the
+    // client and the daemon side of every stream). Every seed must
+    // terminate in bounded wall-clock, and every cell must either be
+    // bit-identical to the in-process reference or carry an explicit
+    // failure reason. Corruption injects control bytes the JSON layer
+    // rejects by construction, so a silently wrong cell is impossible
+    // — this asserts it stays that way.
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    // Ids start at 1: a daemon that receives a corrupted frame replies
+    // with a failed id-0 outcome, which must never match a real job.
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(
+            makeJob(i + 1, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    ExecOptions inproc;
+    inproc.jobs = 2;
+    std::vector<CellOutcome> reference =
+        driver::InProcessExecutor(inproc).execute(jobs);
+    for (const CellOutcome &ref : reference)
+        ASSERT_TRUE(ref.ok) << ref.error;
+
+    net::FaultSpec spec;
+    std::string specError;
+    ASSERT_TRUE(net::FaultSpec::parse(
+        "delay=0..5ms@0.25,drop@0.05,corrupt@0.05,stall@0.01,"
+        "reset@0.05",
+        spec, specError))
+        << specError;
+
+    // One daemon shared across every seed (its reads/writes go
+    // through the same global plan, so faults are bidirectional).
+    LoopbackDaemon daemon;
+
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        spec.seed = seed;
+        auto start = std::chrono::steady_clock::now();
+        std::vector<CellOutcome> outcomes;
+        {
+            net::ScopedFaultPlan chaos(spec);
+            ExecOptions opts =
+                tcpOpts({daemon.endpoint(), daemon.endpoint()},
+                        /*maxRetries=*/4);
+            opts.retryBackoffMs = 2;
+            opts.maxBackoffMs = 20;
+            opts.cellTimeoutMs = 300;
+            opts.heartbeatMs = 100;
+            opts.degrade = driver::DegradeMode::Local;
+            driver::RemoteExecutor exec(opts);
+            outcomes = exec.execute(jobs);
+        }
+        double elapsedMs = elapsedMsSince(start);
+
+        ASSERT_EQ(outcomes.size(), jobs.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (outcomes[i].ok) {
+                EXPECT_EQ(outcomes[i].id, jobs[i].id)
+                    << "seed " << seed;
+                expectRunsEqual(reference[i].run, outcomes[i].run);
+            } else {
+                // A diagnosed failure is acceptable; a silent wrong
+                // answer or a missing reason is not.
+                EXPECT_NE(outcomes[i].reason, FailReason::None)
+                    << "seed " << seed << ": " << outcomes[i].error;
+                EXPECT_FALSE(outcomes[i].error.empty())
+                    << "seed " << seed;
+            }
+        }
+        // "Never a hang": deadlines bound every attempt, so a whole
+        // 4-cell grid under faults resolves in seconds.
+        EXPECT_LT(elapsedMs, 60000.0) << "seed " << seed;
+    }
+}
+
 // ---- main: this binary is its own --cell-worker ----
 
 int
@@ -931,6 +1244,7 @@ main(int argc, char **argv)
     int crashAfter = -1;
     bool worker = false;
     bool sleepWorker = false;
+    bool hang = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--cell-worker")
@@ -939,10 +1253,13 @@ main(int argc, char **argv)
             crashAfter = std::atoi(arg.c_str() + 14);
         else if (arg == "--sleep-worker")
             sleepWorker = true;
+        else if (arg == "--hang")
+            hang = true;
     }
-    if (sleepWorker) {
-        // Orphan-cleanup test fodder: accept a job, then hang until
-        // the parent's shutdown handler SIGKILLs us.
+    if (sleepWorker || hang) {
+        // Orphan-cleanup and deadline-watchdog test fodder: accept a
+        // job, then hang until the parent (the shutdown handler or
+        // the cell-deadline watchdog) SIGKILLs us.
         char buf[65536];
         if (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
         }

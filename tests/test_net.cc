@@ -2,10 +2,13 @@
  * @file
  * The src/net transport subsystem: Fd ownership, endpoint parsing,
  * line framing over partial reads (truncated and oversized frames
- * are errors, not short lines), the accept-loop server, the daemon's
- * per-line protocol body, and the --stream event sink.
+ * are errors, not short lines), deadline-bounded reads, the seeded
+ * fault-injection layer (spec grammar, per-operation semantics), the
+ * accept-loop server, the daemon's per-line protocol body, and the
+ * --stream event sink.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -19,6 +22,7 @@
 
 #include "common/json.hh"
 #include "driver/executor.hh"
+#include "net/fault.hh"
 #include "net/framing.hh"
 #include "net/server.hh"
 #include "net/socket.hh"
@@ -230,6 +234,73 @@ TEST(Framing, WriteToHungUpPeerFailsWithoutSignal)
     EXPECT_FALSE(err.empty());
 }
 
+TEST(Framing, MaxFrameSizeBoundary)
+{
+    // A frame of exactly maxLine bytes is within protocol; one more
+    // byte is off-protocol. The boundary must not be off by one in
+    // either direction.
+    constexpr std::size_t kBound = 64;
+    {
+        auto [a, b] = makeSocketPair();
+        std::string atLimit(kBound, 'a');
+        ASSERT_EQ(write(a.get(), (atLimit + "\n").data(), kBound + 1),
+                  static_cast<ssize_t>(kBound + 1));
+        LineReader reader(b.get(), kBound);
+        std::string line, err;
+        ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line)
+            << err;
+        EXPECT_EQ(line, atLimit);
+        EXPECT_EQ(reader.errorKind(), LineReader::ErrorKind::None);
+    }
+    {
+        auto [a, b] = makeSocketPair();
+        std::string oneOver(kBound + 1, 'b');
+        ASSERT_EQ(write(a.get(), (oneOver + "\n").data(), kBound + 2),
+                  static_cast<ssize_t>(kBound + 2));
+        LineReader reader(b.get(), kBound);
+        std::string line, err;
+        EXPECT_EQ(reader.readLine(line, err), LineReader::Status::Error);
+        EXPECT_EQ(reader.errorKind(),
+                  LineReader::ErrorKind::Oversized);
+        EXPECT_NE(err.find("exceeds"), std::string::npos) << err;
+    }
+}
+
+TEST(Framing, DeadlineExpiresAsTimeoutNotError)
+{
+    auto [a, b] = makeSocketPair();
+    LineReader reader(b.get());
+    std::string line, err;
+    auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(reader.readLine(line, err, /*deadlineMs=*/50),
+              LineReader::Status::Timeout);
+    auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    EXPECT_GE(waited, 45);
+    EXPECT_LT(waited, 5000) << "deadline did not bound the read";
+    // A timeout is not an error: the error classifier stays clean.
+    EXPECT_EQ(reader.errorKind(), LineReader::ErrorKind::None);
+}
+
+TEST(Framing, TimedOutPartialFrameResumesOnRetry)
+{
+    auto [a, b] = makeSocketPair();
+    LineReader reader(b.get());
+    std::string line, err;
+    // Half a frame arrives, then silence past the deadline.
+    ASSERT_EQ(write(a.get(), "first-", 6), 6);
+    ASSERT_EQ(reader.readLine(line, err, 50),
+              LineReader::Status::Timeout);
+    // The late remainder completes the SAME frame on the next read —
+    // buffered partial bytes survive a timeout.
+    ASSERT_EQ(write(a.get(), "half\n", 5), 5);
+    ASSERT_EQ(reader.readLine(line, err, 1000),
+              LineReader::Status::Line)
+        << err;
+    EXPECT_EQ(line, "first-half");
+}
+
 TEST(Framing, ReaderResetDropsStaleBytes)
 {
     auto [a, b] = makeSocketPair();
@@ -245,6 +316,228 @@ TEST(Framing, ReaderResetDropsStaleBytes)
     ASSERT_EQ(write(c.get(), "\n", 1), 1);
     ASSERT_EQ(reader.readLine(line, err), LineReader::Status::Line);
     EXPECT_EQ(line, "ignored");
+}
+
+// ---- fault injection ----
+
+TEST(FaultSpec, ParsesTheFullGrammar)
+{
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse(
+        "seed=7,delay=0..50ms@0.2,drop@0.05,corrupt@0.02,stall@0.01,"
+        "reset@0.02",
+        spec, err))
+        << err;
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_DOUBLE_EQ(spec.delayProb, 0.2);
+    EXPECT_EQ(spec.delayMinMs, 0);
+    EXPECT_EQ(spec.delayMaxMs, 50);
+    EXPECT_DOUBLE_EQ(spec.dropProb, 0.05);
+    EXPECT_DOUBLE_EQ(spec.corruptProb, 0.02);
+    EXPECT_DOUBLE_EQ(spec.stallProb, 0.01);
+    EXPECT_DOUBLE_EQ(spec.resetProb, 0.02);
+    // The summary re-renders in the same grammar: parse(summary()) is
+    // a fixed point.
+    net::FaultSpec again;
+    ASSERT_TRUE(net::FaultSpec::parse(spec.summary(), again, err))
+        << spec.summary() << ": " << err;
+    EXPECT_EQ(again.summary(), spec.summary());
+
+    // Clauses are independent and the seed defaults to 1.
+    ASSERT_TRUE(net::FaultSpec::parse("drop@0.5", spec, err)) << err;
+    EXPECT_EQ(spec.seed, 1u);
+    EXPECT_DOUBLE_EQ(spec.dropProb, 0.5);
+    EXPECT_DOUBLE_EQ(spec.delayProb, 0);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs)
+{
+    for (const char *bad :
+         {"", "seed=", "seed=x", "drop", "drop@", "drop@1.5",
+          "drop@-0.1", "explode@0.5", "delay=5ms@0.5",
+          "delay=5..1ms@0.5", "delay=1..5ms@2", "drop@0.5,,reset@0.1",
+          "seed=7,"}) {
+        net::FaultSpec spec;
+        std::string err;
+        EXPECT_FALSE(net::FaultSpec::parse(bad, spec, err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(FaultPlan, SameSeedSameActionSequence)
+{
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse(
+        "seed=42,delay=1..9ms@0.3,drop@0.2,corrupt@0.2,stall@0.1,"
+        "reset@0.1",
+        spec, err))
+        << err;
+    net::FaultPlan a(spec), b(spec);
+    bool sawFault = false;
+    for (int i = 0; i < 200; ++i) {
+        net::FaultOp op =
+            i % 2 == 0 ? net::FaultOp::Read : net::FaultOp::Write;
+        net::FaultAction fromA = a.next(op), fromB = b.next(op);
+        EXPECT_EQ(static_cast<int>(fromA.kind),
+                  static_cast<int>(fromB.kind));
+        EXPECT_EQ(fromA.delayMs, fromB.delayMs);
+        EXPECT_EQ(fromA.salt, fromB.salt);
+        sawFault |= fromA.kind != net::FaultAction::Kind::None;
+    }
+    EXPECT_TRUE(sawFault) << "a ~70% fault spec produced 200 clean ops";
+}
+
+TEST(FaultInject, DroppedWriteReportsSuccessAndPeerTimesOut)
+{
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse("seed=1,drop@1", spec, err));
+    auto [a, b] = makeSocketPair();
+    LineReader reader(b.get());
+    std::string line;
+    {
+        net::ScopedFaultPlan plan(spec);
+        // The write "succeeds" but nothing reaches the peer: exactly
+        // how a silently-lossy transport looks from the sender.
+        ASSERT_TRUE(net::writeLine(a.get(), "vanishes", err)) << err;
+        EXPECT_EQ(reader.readLine(line, err, 50),
+                  LineReader::Status::Timeout);
+    }
+    // Plan uninstalled: the stream works again.
+    ASSERT_TRUE(net::writeLine(a.get(), "arrives", err)) << err;
+    ASSERT_EQ(reader.readLine(line, err, 1000),
+              LineReader::Status::Line)
+        << err;
+    EXPECT_EQ(line, "arrives");
+}
+
+TEST(FaultInject, ResetFailsTheOperation)
+{
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse("seed=1,reset@1", spec, err));
+    auto [a, b] = makeSocketPair();
+    net::ScopedFaultPlan plan(spec);
+    EXPECT_FALSE(net::writeLine(a.get(), "never", err));
+    EXPECT_NE(err.find("injected"), std::string::npos) << err;
+}
+
+TEST(FaultInject, CorruptedFrameIsAlwaysDetectable)
+{
+    // The injected corruption overwrites one byte with a control
+    // character, which the JSON layer rejects anywhere in a compact
+    // frame — so a corrupted CellOutcome can never silently decode.
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse("seed=9,corrupt@1", spec, err));
+    for (int trial = 0; trial < 8; ++trial) {
+        auto [a, b] = makeSocketPair();
+        std::string frame = "{\"id\":123,\"ok\":true,\"pad\":\"trial-"
+                            + std::to_string(trial) + "\"}";
+        ASSERT_EQ(write(a.get(), (frame + "\n").data(),
+                        frame.size() + 1),
+                  static_cast<ssize_t>(frame.size() + 1));
+        net::ScopedFaultPlan plan(spec);
+        LineReader reader(b.get());
+        std::string line;
+        LineReader::Status status = reader.readLine(line, err, 100);
+        if (status == LineReader::Status::Line) {
+            // A payload byte was smashed: the frame must not parse.
+            EXPECT_FALSE(json::parse(line, &err).has_value())
+                << "corrupted frame decoded cleanly: " << line;
+        } else {
+            // The terminator itself was smashed: detected as a
+            // timeout (production: the deadline machinery fires).
+            EXPECT_EQ(status, LineReader::Status::Timeout);
+        }
+    }
+}
+
+TEST(FaultInject, StallBurnsTheDeadline)
+{
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse("seed=1,stall@1", spec, err));
+    auto [a, b] = makeSocketPair();
+    // Data is sitting right there — the stall must still starve the
+    // read until its deadline.
+    ASSERT_EQ(write(a.get(), "ready\n", 6), 6);
+    net::ScopedFaultPlan plan(spec);
+    LineReader reader(b.get());
+    std::string line;
+    auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(reader.readLine(line, err, 80),
+              LineReader::Status::Timeout);
+    auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    EXPECT_GE(waited, 70);
+}
+
+TEST(FaultInject, DelaySlowsButDeliversIntact)
+{
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(
+        net::FaultSpec::parse("seed=3,delay=20..20ms@1", spec, err));
+    auto [a, b] = makeSocketPair();
+    net::ScopedFaultPlan plan(spec);
+    auto start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(net::writeLine(a.get(), "slow-but-sure", err)) << err;
+    LineReader reader(b.get());
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, err, 2000),
+              LineReader::Status::Line)
+        << err;
+    auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    EXPECT_EQ(line, "slow-but-sure");
+    EXPECT_GE(waited, 35) << "write and read delays should stack";
+}
+
+TEST(FaultInject, EnvSpecInstallsAPlan)
+{
+    ASSERT_EQ(setenv("L0VLIW_FAULT_INJECT", "seed=5,drop@0.5", 1), 0);
+    net::installFaultPlanFromEnv();
+    std::shared_ptr<net::FaultPlan> plan = net::activeFaultPlan();
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->spec().seed, 5u);
+    EXPECT_DOUBLE_EQ(plan->spec().dropProb, 0.5);
+    net::installFaultPlan(nullptr);
+    unsetenv("L0VLIW_FAULT_INJECT");
+}
+
+// ---- SIGPIPE hardening ----
+
+TEST(Sigpipe, PipeWriteToDeadReaderSurvivesAsError)
+{
+    // Pipes have no MSG_NOSIGNAL: without the SIG_IGN disposition the
+    // plain-write fallback would kill the process on a dead reader —
+    // the SubprocessExecutor parent's exact failure mode when a
+    // worker dies between dispatch and write.
+    net::ignoreSigpipe();
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    Fd writeEnd(fds[1]);
+    close(fds[0]); // reader gone
+    std::string err;
+    EXPECT_FALSE(net::writeLine(writeEnd.get(), "into the void", err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Sigpipe, SocketWriteToClosedPeerSurvivesAsError)
+{
+    // The socket flavor of the same audit: a daemon/driver writing to
+    // a peer that already hung up gets an error string, not SIGPIPE.
+    auto [a, b] = makeSocketPair();
+    b.reset();
+    std::string err;
+    net::writeLine(a.get(), "x", err); // may land in the buffer
+    EXPECT_FALSE(net::writeLine(a.get(), "y", err));
+    EXPECT_FALSE(err.empty());
 }
 
 // ---- listen / connect / accept ----
@@ -428,6 +721,48 @@ TEST(CellProtocol, MalformedFramesFailCleanly)
         EXPECT_FALSE(outcome.ok) << bad;
         EXPECT_FALSE(outcome.error.empty()) << bad;
     }
+}
+
+TEST(CellProtocol, PingAnswersPong)
+{
+    // Every executing side is handleCellLine behind a transport, so
+    // one assertion covers the daemon, the --cell-worker loop, and
+    // in-process test daemons: a ping probe gets an immediate pong.
+    EXPECT_EQ(driver::handleCellLine(driver::kCellPingLine),
+              driver::kCellPongLine);
+    // And a pong is NOT a valid job — a desynced stream fails loud.
+    driver::CellOutcome outcome;
+    std::string err;
+    ASSERT_TRUE(driver::CellOutcome::fromJson(
+        driver::handleCellLine(driver::kCellPongLine), outcome, err));
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.reason, FailReason::FrameCorrupt);
+}
+
+TEST(CellProtocol, FailureReasonsRoundTripTheWire)
+{
+    driver::CellOutcome out;
+    out.id = 9;
+    out.ok = false;
+    out.error = "synthetic";
+    out.reason = FailReason::Timeout;
+    out.attempts = 4;
+    driver::CellOutcome back;
+    std::string err;
+    ASSERT_TRUE(
+        driver::CellOutcome::fromJson(out.toJson(), back, err))
+        << err;
+    EXPECT_EQ(back.reason, FailReason::Timeout);
+    EXPECT_EQ(back.attempts, 4);
+    // Every taxonomy entry has a stable wire name and decodes back.
+    for (FailReason reason :
+         {FailReason::Timeout, FailReason::WorkerCrash,
+          FailReason::FrameCorrupt, FailReason::ConnReset,
+          FailReason::JobError}) {
+        EXPECT_EQ(failReasonFromName(failReasonName(reason)), reason);
+    }
+    // Unknown names (a newer peer) degrade to None, not a failure.
+    EXPECT_EQ(failReasonFromName("quantum-flux"), FailReason::None);
 }
 
 TEST(CellProtocol, ServerAnswersJobLines)
