@@ -18,7 +18,10 @@
 #include "sched/scheduler.hh"
 #include "sim/kernel_plan.hh"
 #include "sim/kernel_sim.hh"
+#include "store/service.hh"
 #include "workloads/kernels.hh"
+
+#include <unistd.h>
 
 using namespace l0vliw;
 
@@ -240,6 +243,61 @@ BM_SuiteGrid(benchmark::State &state, driver::ExecBackend backend)
     }
     state.SetItemsProcessed(state.iterations() * 16);
 }
+
+/** An in-process result-store daemon (l0store --serve) on a loopback
+ *  ephemeral port, logging to a throwaway file — what --publish would
+ *  name. */
+const std::string &
+loopbackStoreEndpoint()
+{
+    static net::Server server;
+    static std::string endpoint = []() {
+        static store::StoreService service;
+        std::string path = "/tmp/l0vliw_bench_store."
+                           + std::to_string(getpid()) + ".ndjson";
+        std::remove(path.c_str());
+        std::string error;
+        if (!service.open(path, error)
+            || !server.start(0, service.handler(), error)) {
+            std::fprintf(stderr, "loopback store: %s\n", error.c_str());
+            std::abort();
+        }
+        return "127.0.0.1:" + std::to_string(server.port());
+    }();
+    return endpoint;
+}
+
+/** The --publish path's overhead: the serial grid with every cell
+ *  outcome plus the rendered table sent as acked frames over loopback
+ *  TCP to an in-process store daemon. The delta against BM_SuiteSerial
+ *  is the publisher cost per 16-cell grid (a fresh run-id each
+ *  iteration, so every frame is genuinely stored, never deduped). */
+void
+BM_SuitePublish(benchmark::State &state)
+{
+    driver::Suite suite(suiteSpec());
+    std::string error;
+    std::unique_ptr<driver::OutcomeStream> sink =
+        driver::OutcomeStream::open("tcp:" + loopbackStoreEndpoint(),
+                                    error);
+    if (sink == nullptr) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+    int run = 0;
+    for (auto _ : state) {
+        sink->setMeta("micro", "bench", "r" + std::to_string(run++));
+        driver::ExecOptions exec;
+        exec.onOutcome = sink->callback();
+        driver::ResultGrid grid = suite.run(exec);
+        sink->writeGrid(grid.render());
+        benchmark::DoNotOptimize(grid.cell(0, 0).normalized);
+    }
+    if (sink->dropped() > 0)
+        state.SkipWithError("publisher dropped frames");
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SuitePublish)->Unit(benchmark::kMillisecond);
 
 /** The wire protocol's end-to-end cost: the same grid through a pool
  *  of --cell-worker subprocesses (spawn + JSON both ways per cell). */

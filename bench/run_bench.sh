@@ -16,11 +16,15 @@
 #                 pipes, tcp over a loopback --serve daemon micro_perf
 #                 hosts in-process)
 #
-#   bench/run_bench.sh --diff OLD.json NEW.json [THRESHOLD_PCT]
-#       Compare two grid-JSON files benchmark by benchmark and print a
-#       per-benchmark delta table. Exits 1 when any benchmark regressed
-#       by more than THRESHOLD_PCT (default 10) — callers that want a
+#   bench/run_bench.sh --diff OLD NEW [THRESHOLD_PCT]
+#       Compare two results and print a per-benchmark delta table,
+#       exiting 1 past THRESHOLD_PCT (default 10) — callers that want a
 #       report-only diff (the CI smoke-bench job) ignore the status.
+#       When L0VLIW_STORE=host:port is set and OLD/NEW are not existing
+#       files, they are git revs and the diff is answered by the result
+#       store (`l0store query ... diff`, suite ${L0VLIW_SUITE:-micro});
+#       otherwise OLD/NEW are google-benchmark grid-JSON files and the
+#       offline python path below compares them locally.
 set -e
 
 repo=$(cd "$(dirname "$0")/.." && pwd)
@@ -29,8 +33,19 @@ build="$repo/build-bench"
 if [ "$1" = "--diff" ]; then
     old="$2"; new="$3"; threshold="${4:-10}"
     if [ -z "$old" ] || [ -z "$new" ]; then
-        echo "usage: bench/run_bench.sh --diff OLD.json NEW.json [THRESHOLD_PCT]" >&2
+        echo "usage: bench/run_bench.sh --diff OLD NEW [THRESHOLD_PCT]" >&2
         exit 2
+    fi
+    if [ -n "$L0VLIW_STORE" ] && [ ! -f "$old" ] && [ ! -f "$new" ]; then
+        # Rev-vs-rev through the store daemon; exit status is the
+        # store's verdict (1 = regression past threshold).
+        l0store="$repo/build/l0store"
+        if [ ! -x "$l0store" ]; then
+            cmake -B "$repo/build" -S "$repo" > /dev/null
+            cmake --build "$repo/build" --target l0store -j > /dev/null
+        fi
+        exec "$l0store" query "$L0VLIW_STORE" diff \
+            "${L0VLIW_SUITE:-micro}" "$old" "$new" "$threshold"
     fi
     exec python3 - "$old" "$new" "$threshold" <<'PYEOF'
 import json, sys

@@ -132,6 +132,167 @@ renderJson(const ResultTable &t)
     return out.str();
 }
 
+// ---- lossless wire encoding of a rendered table ----
+
+namespace
+{
+
+/** One-letter wire tag of a CellValue kind. */
+char
+kindTag(CellValue::Kind k)
+{
+    switch (k) {
+    case CellValue::Kind::Text:
+        return 't';
+    case CellValue::Kind::Fixed:
+        return 'f';
+    case CellValue::Kind::Percent:
+        return 'p';
+    case CellValue::Kind::Integer:
+        return 'i';
+    }
+    return 't';
+}
+
+void
+appendWireCell(std::string &out, const CellValue &v)
+{
+    out += "{\"k\":\"";
+    out += kindTag(v.kind());
+    out += "\",\"v\":";
+    switch (v.kind()) {
+    case CellValue::Kind::Text:
+        out += json::quote(v.textValue());
+        break;
+    case CellValue::Kind::Fixed:
+    case CellValue::Kind::Percent:
+        out += json::fromDouble(v.number());
+        out += ",\"d\":" + std::to_string(v.digits());
+        break;
+    case CellValue::Kind::Integer:
+        out += std::to_string(v.integerValue());
+        break;
+    }
+    out += '}';
+}
+
+bool
+decodeWireCell(const json::Value &doc, CellValue &out,
+               std::string &error)
+{
+    const json::Value *k = doc.find("k");
+    const json::Value *v = doc.find("v");
+    if (!doc.isObject() || k == nullptr || !k->isString()
+        || v == nullptr) {
+        error = "table cell is not a {k, v} object";
+        return false;
+    }
+    const json::Value *d = doc.find("d");
+    int digits = d != nullptr && d->isNumber()
+                     ? static_cast<int>(d->asI64())
+                     : 2;
+    const std::string &kind = k->str();
+    if (kind == "t" && v->isString()) {
+        out = CellValue::text(v->str());
+    } else if (kind == "f" && v->isNumber()) {
+        out = CellValue::fixed(v->asDouble(), digits);
+    } else if (kind == "p" && v->isNumber()) {
+        out = CellValue::percent(v->asDouble(), digits);
+    } else if (kind == "i" && v->isNumber()) {
+        out = CellValue::integer(v->asU64());
+    } else {
+        error = "table cell kind '" + kind
+                + "' does not match its value";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+tableToWireJson(const ResultTable &t)
+{
+    std::string out = "{\"title\":" + json::quote(t.title);
+    out += ",\"footer\":" + json::quote(t.footer);
+    out += ",\"header\":[";
+    for (std::size_t i = 0; i < t.header.size(); ++i) {
+        if (i)
+            out += ',';
+        out += json::quote(t.header[i]);
+    }
+    out += "],\"rows\":[";
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+        if (r)
+            out += ',';
+        out += '[';
+        for (std::size_t i = 0; i < t.rows[r].size(); ++i) {
+            if (i)
+                out += ',';
+            appendWireCell(out, t.rows[r][i]);
+        }
+        out += ']';
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+tableFromJsonValue(const json::Value &doc, ResultTable &out,
+                   std::string &error)
+{
+    if (!doc.isObject()) {
+        error = "wire table is not an object";
+        return false;
+    }
+    const json::Value *title = doc.find("title");
+    const json::Value *footer = doc.find("footer");
+    const json::Value *header = doc.find("header");
+    const json::Value *rows = doc.find("rows");
+    if (title == nullptr || !title->isString() || footer == nullptr
+        || !footer->isString() || header == nullptr
+        || !header->isArray() || rows == nullptr || !rows->isArray()) {
+        error = "wire table is missing title/footer/header/rows";
+        return false;
+    }
+    out = ResultTable{};
+    out.title = title->str();
+    out.footer = footer->str();
+    for (const auto &h : header->items()) {
+        if (!h.isString()) {
+            error = "non-string wire table header";
+            return false;
+        }
+        out.header.push_back(h.str());
+    }
+    for (const auto &row : rows->items()) {
+        if (!row.isArray()) {
+            error = "wire table row is not an array";
+            return false;
+        }
+        std::vector<CellValue> cells;
+        cells.reserve(row.items().size());
+        for (const auto &cell : row.items()) {
+            CellValue v;
+            if (!decodeWireCell(cell, v, error))
+                return false;
+            cells.push_back(std::move(v));
+        }
+        out.rows.push_back(std::move(cells));
+    }
+    return true;
+}
+
+bool
+tableFromWireJson(const std::string &text, ResultTable &out,
+                  std::string &error)
+{
+    std::optional<json::Value> doc = json::parse(text, &error);
+    if (!doc)
+        return false;
+    return tableFromJsonValue(*doc, out, error);
+}
+
 void
 TextTableSink::write(const ResultTable &t)
 {

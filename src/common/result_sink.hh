@@ -83,6 +83,7 @@ class CellValue
 
     std::uint64_t integerValue() const { return int_; }
     const std::string &textValue() const { return text_; }
+    int digits() const { return digits_; }
 
     /** The display string, exactly as the hand-written drivers did. */
     std::string formatted() const;
@@ -123,6 +124,30 @@ std::string renderCsv(const ResultTable &t);
 
 /** Render @p t as a JSON object with raw typed values. */
 std::string renderJson(const ResultTable &t);
+
+/**
+ * @p t as one compact JSON line that round-trips *losslessly* — every
+ * cell keeps its kind, raw value (%.17g doubles, raw u64 tokens), and
+ * display digits, so a decoded table re-renders byte-identically
+ * through renderText/renderCsv/renderJson. This is the wire form of a
+ * rendered grid (the store's "grid" frames); renderJson stays the
+ * human/dashboard view with rounded raw values.
+ */
+std::string tableToWireJson(const ResultTable &t);
+
+/** Inverse of tableToWireJson. False sets @p error. */
+bool tableFromWireJson(const std::string &text, ResultTable &out,
+                       std::string &error);
+
+namespace json
+{
+class Value;
+}
+
+/** tableFromWireJson on an already-parsed subtree (a "grid" event's
+ *  embedded table). False sets @p error. */
+bool tableFromJsonValue(const json::Value &doc, ResultTable &out,
+                        std::string &error);
 
 /** A destination for result tables. */
 class ResultSink

@@ -1,7 +1,11 @@
 #include "driver/cli.hh"
 
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <thread>
+
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "driver/registry.hh"
@@ -69,6 +73,31 @@ splitEndpoints(const std::string &list)
         begin = comma + 1;
     }
     return out;
+}
+
+/** The path-less program name: the default published suite name. */
+std::string
+baseName(const char *argv0)
+{
+    std::string name = argv0 == nullptr ? "" : argv0;
+    std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return name.empty() ? "suite" : name;
+}
+
+/** A unique-enough default run id: wall-clock seconds + pid. Runs
+ *  dedup on it in the store, so colliding ids would silently merge —
+ *  two publishes from one process in the same second share a run,
+ *  which is exactly the resume/retry semantics we want. */
+std::string
+defaultRunId()
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "r%llx-%lx",
+                  static_cast<unsigned long long>(std::time(nullptr)),
+                  static_cast<long>(getpid()));
+    return buf;
 }
 
 [[noreturn]] void
@@ -146,6 +175,14 @@ parseCli(int argc, char **argv)
             opts.connect = splitEndpoints(valueOf(i, arg, "--connect"));
         } else if (matches(arg, "--stream")) {
             opts.stream = valueOf(i, arg, "--stream");
+        } else if (matches(arg, "--publish")) {
+            opts.publish = valueOf(i, arg, "--publish");
+        } else if (matches(arg, "--suite")) {
+            opts.suiteName = valueOf(i, arg, "--suite");
+        } else if (matches(arg, "--rev")) {
+            opts.rev = valueOf(i, arg, "--rev");
+        } else if (matches(arg, "--run-id")) {
+            opts.runId = valueOf(i, arg, "--run-id");
         } else if (matches(arg, "--cell-timeout-ms")) {
             opts.cellTimeoutMs =
                 parseCellTimeout(valueOf(i, arg, "--cell-timeout-ms"));
@@ -173,6 +210,8 @@ parseCli(int argc, char **argv)
                 "          [--executor=inprocess|subprocess|tcp]\n"
                 "          [--connect=host:port[,host:port...]]\n"
                 "          [--stream=<file|fd:N|->]\n"
+                "          [--publish=host:port] [--suite=NAME]\n"
+                "          [--rev=REV] [--run-id=ID]\n"
                 "          [--cell-timeout-ms=N] [--degrade=fail|local]\n"
                 "          [--fault-inject=<spec>]\n"
                 "          [--format=table|csv|json] [--list]\n"
@@ -195,6 +234,17 @@ parseCli(int argc, char **argv)
         if (env != nullptr && *env != '\0')
             opts.cellTimeoutMs = parseCellTimeout(env);
     }
+    // Run-identity defaults: every published event needs a suite to
+    // group under, a revision to diff by, and a run id to dedup on —
+    // whether or not the flags were spelled out.
+    if (opts.suiteName.empty())
+        opts.suiteName = baseName(argc > 0 ? argv[0] : nullptr);
+    if (opts.rev.empty()) {
+        const char *env = std::getenv("L0VLIW_GIT_REV");
+        opts.rev = env != nullptr && *env != '\0' ? env : "unknown";
+    }
+    if (opts.runId.empty())
+        opts.runId = defaultRunId();
     return opts;
 }
 
@@ -239,18 +289,38 @@ CliOptions::exec() const
                 e.endpoints.push_back(e.endpoints[i % listed]);
         }
     }
+    std::shared_ptr<OutcomeStream> streamSink;
     if (!stream.empty()) {
         std::string error;
-        std::shared_ptr<OutcomeStream> sink =
-            OutcomeStream::open(stream, error);
-        if (sink == nullptr)
+        streamSink = OutcomeStream::open(stream, error);
+        if (streamSink == nullptr)
             fatal("%s", error.c_str());
-        // The sink rides inside the callback, so its lifetime follows
-        // the ExecOptions copies into Suite::run/makeExecutor.
-        e.onOutcome = [sink](const CellJob &job,
-                             const CellOutcome &outcome,
-                             double wallMs) {
-            sink->write(job, outcome, wallMs);
+        // A tcp: stream target is a store; tag its events with the
+        // run identity. Plain files keep the pre-store schema their
+        // consumers expect.
+        if (stream.rfind("tcp:", 0) == 0)
+            streamSink->setMeta(suiteName, rev, runId);
+    }
+    if (!publish.empty() && publishSink_ == nullptr) {
+        std::string error;
+        publishSink_ = OutcomeStream::open("tcp:" + publish, error);
+        if (publishSink_ == nullptr)
+            fatal("--publish %s", error.c_str());
+        // Published events carry the run identity; a plain --stream
+        // file keeps the pre-store schema its consumers expect.
+        publishSink_->setMeta(suiteName, rev, runId);
+    }
+    if (streamSink != nullptr || publishSink_ != nullptr) {
+        // The sinks ride inside the callback, so their lifetime
+        // follows the ExecOptions copies into Suite::run/makeExecutor.
+        std::shared_ptr<OutcomeStream> store = publishSink_;
+        e.onOutcome = [streamSink, store](const CellJob &job,
+                                          const CellOutcome &outcome,
+                                          double wallMs) {
+            if (streamSink != nullptr)
+                streamSink->write(job, outcome, wallMs);
+            if (store != nullptr)
+                store->write(job, outcome, wallMs);
         };
     }
     return e;
@@ -261,7 +331,14 @@ runSuiteMain(ExperimentSpec spec, const CliOptions &cli)
 {
     spec.filter(cli.filter);
     Suite suite(std::move(spec));
-    suite.run(cli.exec()).emit(cli.format);
+    ResultGrid grid = suite.run(cli.exec());
+    // Render once: the table published to the store is the very table
+    // emitted below, so `l0store query latest-grid` can answer
+    // byte-identically to what this driver printed.
+    ResultTable table = grid.render();
+    if (std::shared_ptr<OutcomeStream> store = cli.publishSink())
+        store->writeGrid(table);
+    makeSink(cli.format)->write(table);
     return 0;
 }
 

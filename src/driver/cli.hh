@@ -23,6 +23,17 @@
  *   --stream=<file|fd:N|->
  *                       emit one NDJSON event per completed cell, as
  *                       it completes, from any executor backend
+ *   --publish=host:port publish the same per-cell events — plus the
+ *                       final rendered grid — to an `l0store --serve`
+ *                       result-store daemon (acked, idempotent,
+ *                       bounded retries; see src/store/README.md)
+ *   --suite=NAME        run identity stamped into published events:
+ *                       the suite name queries group by (default:
+ *                       the driver binary's basename)
+ *   --rev=REV           ... the source revision, for `l0store diff`
+ *                       (default: $L0VLIW_GIT_REV, else "unknown")
+ *   --run-id=ID         ... the unique run id published events dedup
+ *                       on (default: generated from time and pid)
  *   --cell-timeout-ms=N per-job wall-clock deadline for the
  *                       subprocess/tcp backends (0 = off; default:
  *                       60000 for tcp, off locally; env:
@@ -57,6 +68,7 @@
 #ifndef L0VLIW_DRIVER_CLI_HH
 #define L0VLIW_DRIVER_CLI_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,6 +93,13 @@ struct CliOptions
     std::vector<std::string> connect;
     /** --stream destination ("" = no event stream). */
     std::string stream;
+    /** --publish store daemon host:port ("" = no store). */
+    std::string publish;
+    /** Run identity published with every event (see --suite/--rev/
+     *  --run-id above; parseCli fills the defaults in). */
+    std::string suiteName;
+    std::string rev;
+    std::string runId;
     /** --cell-timeout-ms (-1 = backend default; 0 = off). */
     int cellTimeoutMs = -1;
     /** --degrade policy for the tcp executor. */
@@ -97,9 +116,23 @@ struct CliOptions
      * the tcp backend an empty --connect falls back to L0VLIW_CONNECT
      * (fatal when still empty), and an explicit --jobs beyond the
      * endpoint count replicates the list round-robin into that many
-     * connections.
+     * connections. A --publish sink is opened (and cached) here too,
+     * its events stamped with the run identity; both sinks compose
+     * into the same onOutcome.
      */
     ExecOptions exec() const;
+
+    /** The --publish store connection exec() opened (null without
+     *  --publish) — runSuiteMain sends the rendered grid through it. */
+    std::shared_ptr<OutcomeStream> publishSink() const
+    {
+        return publishSink_;
+    }
+
+  private:
+    /** Cached by exec() so the grid frame rides the same connection
+     *  (and run identity) as the cell events. */
+    mutable std::shared_ptr<OutcomeStream> publishSink_;
 };
 
 /** Parse argv (fatal on unknown --flags; --help prints usage). */

@@ -595,7 +595,7 @@ closeChild(Child &child, bool killFirst = false)
         int status = 0;
         waitpid(child.pid, &status, 0);
     }
-    child = Child{};
+    child = Child();
 }
 
 /**
@@ -1322,9 +1322,46 @@ cellDaemonMain(std::uint16_t port)
 
 // ---- the --stream event sink ----
 
+namespace
+{
+
+/** How long a publish waits for the store's ack before the frame is
+ *  retried over a fresh connection. */
+constexpr int kPublishAckMs = 5000;
+/** Delivery attempts per published frame (connect + send + ack). */
+constexpr int kPublishAttempts = 3;
+
+} // namespace
+
+OutcomeStream::OutcomeStream(net::HostPort store)
+    : store_(std::move(store)), tcp_(true)
+{
+}
+
 std::unique_ptr<OutcomeStream>
 OutcomeStream::open(const std::string &spec, std::string &error)
 {
+    if (spec.rfind("tcp:", 0) == 0) {
+        net::HostPort hp;
+        if (!net::parseHostPort(spec.substr(4), hp, error))
+            return nullptr;
+        // The store restarting mid-run must be an EPIPE on the retry
+        // path, not publisher death.
+        net::ignoreSigpipe();
+        std::unique_ptr<OutcomeStream> s(
+            new OutcomeStream(std::move(hp)));
+        // Connect eagerly: a misconfigured endpoint should fail the
+        // driver at startup, not silently drop every event later.
+        s->sock_ = net::connectTcp(s->store_.host, s->store_.port,
+                                   error);
+        if (!s->sock_.valid()) {
+            error = spec + ": " + error;
+            return nullptr;
+        }
+        s->reader_.reset(s->sock_.get());
+        return s;
+    }
+
     std::FILE *out = nullptr;
     bool owned = true;
     if (spec == "-") {
@@ -1355,20 +1392,46 @@ OutcomeStream::open(const std::string &spec, std::string &error)
 
 OutcomeStream::~OutcomeStream()
 {
-    if (owned_)
-        std::fclose(out_);
-    else
-        std::fflush(out_);
+    if (out_ != nullptr) {
+        if (owned_)
+            std::fclose(out_);
+        else
+            std::fflush(out_);
+    }
+    // tcp mode: closing sock_ is the publisher's EOF to the store.
+}
+
+void
+OutcomeStream::setMeta(std::string suite, std::string rev,
+                       std::string run)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    suite_ = std::move(suite);
+    rev_ = std::move(rev);
+    run_ = std::move(run);
+}
+
+void
+OutcomeStream::appendMeta(std::string &event) const
+{
+    if (!suite_.empty())
+        event += ",\"suite\":" + json::quote(suite_);
+    if (!rev_.empty())
+        event += ",\"rev\":" + json::quote(rev_);
+    if (!run_.empty())
+        event += ",\"run\":" + json::quote(run_);
 }
 
 void
 OutcomeStream::write(const CellJob &job, const CellOutcome &outcome,
                      double wallMs)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::string event = "{\"event\":\"cell\",";
     appendField(event, "id", job.id);
     event += ",\"bench\":" + json::quote(job.bench);
     event += ",\"arch\":" + json::quote(job.arch);
+    appendMeta(event);
     event += ",\"ok\":";
     event += outcome.ok ? "true" : "false";
     if (!outcome.ok && outcome.reason != FailReason::None)
@@ -1378,11 +1441,84 @@ OutcomeStream::write(const CellJob &job, const CellOutcome &outcome,
     event += ",\"wallMs\":" + json::fromDouble(wallMs);
     event += ",\"outcome\":" + outcome.toJson();
     event += '}';
+    emitLine(event);
+}
 
+void
+OutcomeStream::writeGrid(const ResultTable &table)
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    std::fputs(event.c_str(), out_);
-    std::fputc('\n', out_);
-    std::fflush(out_); // live: a dashboard tail sees the cell now
+    std::string event = "{\"event\":\"grid\"";
+    // The grid frame leads with its identity, not a cell id — the
+    // table is per-run, and the store keys it that way.
+    appendMeta(event);
+    event += ",\"table\":" + tableToWireJson(table);
+    event += '}';
+    emitLine(event);
+}
+
+void
+OutcomeStream::emitLine(const std::string &line)
+{
+    if (!tcp_) {
+        std::fputs(line.c_str(), out_);
+        std::fputc('\n', out_);
+        std::fflush(out_); // live: a dashboard tail sees the cell now
+        return;
+    }
+    // Acked at-least-once delivery: send, wait (bounded) for the
+    // store's ack, reconnect and resend on any break. The store
+    // dedups on (suite, run, id), so a resend after a lost ack is
+    // harmless; a frame that exhausts the budget is dropped with a
+    // warning — publishing must never hang the suite it measures.
+    RetryPolicy policy;
+    policy.maxAttempts = kPublishAttempts;
+    std::string error = "never connected";
+    for (int attempt = 1; attempt <= policy.maxAttempts; ++attempt) {
+        if (attempt > 1)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                policy.backoffMs(attempt - 1, rng_)));
+        if (!sock_.valid()) {
+            sock_ = net::connectTcp(store_.host, store_.port, error);
+            if (!sock_.valid())
+                continue;
+            reader_.reset(sock_.get());
+        }
+        if (sendAcked(line, error))
+            return;
+    }
+    ++dropped_;
+    warn("publish to %s:%u dropped a frame after %d attempts: %s",
+         store_.host.c_str(), static_cast<unsigned>(store_.port),
+         policy.maxAttempts, error.c_str());
+}
+
+bool
+OutcomeStream::sendAcked(const std::string &line, std::string &error)
+{
+    if (!net::writeLine(sock_.get(), line, error)) {
+        sock_.reset();
+        return false;
+    }
+    std::string reply;
+    net::LineReader::Status status =
+        reader_.readLine(reply, error, kPublishAckMs);
+    if (status != net::LineReader::Status::Line) {
+        if (status == net::LineReader::Status::Timeout)
+            error = "no ack within " + std::to_string(kPublishAckMs)
+                    + "ms";
+        else if (status == net::LineReader::Status::Eof)
+            error = "store hung up before acking";
+        sock_.reset();
+        return false;
+    }
+    // Any reply settles the frame: an ack stored it, a nack means the
+    // store diagnosed and rejected it — resending the same bytes
+    // cannot help, so surface the verdict instead of retrying.
+    if (reply.find("\"event\":\"nack\"") != std::string::npos)
+        warn("store %s:%u rejected a frame: %s", store_.host.c_str(),
+             static_cast<unsigned>(store_.port), reply.c_str());
+    return true;
 }
 
 } // namespace l0vliw::driver

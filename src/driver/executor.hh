@@ -53,8 +53,12 @@
 #include <string>
 #include <vector>
 
+#include "common/result_sink.hh"
+#include "common/rng.hh"
 #include "driver/retry.hh"
 #include "driver/runner.hh"
+#include "net/framing.hh"
+#include "net/socket.hh"
 
 namespace l0vliw::driver
 {
@@ -326,15 +330,28 @@ int cellDaemonMain(std::uint16_t port);
  *    "outcome":{...full CellOutcome...}}
  *
  * A failed cell additionally carries "reason":"<failReasonName>" so a
- * consumer can diagnose without parsing prose.
+ * consumer can diagnose without parsing prose. When run identity is
+ * set (setMeta — the drivers' --publish path), every event also
+ * carries "suite"/"rev"/"run" fields right after "arch".
+ *
+ * A "tcp:host:port" spec turns the sink into a store publisher: each
+ * event travels as a writeLine frame to an l0store daemon, which acks
+ * every frame — the publisher reads the ack in lockstep (bounded by a
+ * deadline), reconnects with backoff on a drop, and resends. Frames
+ * are idempotent on the store side (keyed by run and cell id), so
+ * at-least-once delivery is safe; an event that exhausts its retry
+ * budget is dropped with a warning — publishing must never hang or
+ * sink the suite that is being measured.
  */
 class OutcomeStream
 {
   public:
     /**
      * Open @p spec: "-" appends to stdout, "fd:N" adopts a duplicate
-     * of descriptor N, anything else is a file path (truncated).
-     * Null + @p error on failure.
+     * of descriptor N, "tcp:host:port" connects to a store daemon
+     * (the drivers' --publish), anything else is a file path
+     * (truncated). Null + @p error on failure — a tcp: spec fails
+     * here, eagerly, when the daemon is unreachable.
      */
     static std::unique_ptr<OutcomeStream> open(const std::string &spec,
                                                std::string &error);
@@ -343,9 +360,33 @@ class OutcomeStream
     OutcomeStream(const OutcomeStream &) = delete;
     OutcomeStream &operator=(const OutcomeStream &) = delete;
 
-    /** Emit one event line (locked, flushed). */
+    /**
+     * Stamp run identity into every subsequent event and grid frame:
+     * which suite this grid belongs to, at which source revision, in
+     * which run. All-empty (the default) omits the fields — the
+     * pre-store event schema, byte for byte.
+     */
+    void setMeta(std::string suite, std::string rev, std::string run);
+
+    /** Emit one event line (locked; flushed or acked per event). */
     void write(const CellJob &job, const CellOutcome &outcome,
                double wallMs);
+
+    /**
+     * Emit the rendered grid as a frame carrying the full ResultTable
+     * in its lossless wire form (tableToWireJson) — what lets the
+     * store answer latest-grid byte-identically to the driver's own
+     * output:
+     *
+     *   {"event":"grid","suite":...,"rev":...,"run":...,"table":{...}}
+     *
+     * Only the --publish path calls this; plain --stream files keep
+     * the cells-only schema their consumers expect.
+     */
+    void writeGrid(const ResultTable &table);
+
+    /** Events/grids that permanently failed to reach a tcp: store. */
+    int dropped() const { return dropped_; }
 
     /** An ExecOptions.onOutcome bound to this stream. */
     CellEventFn
@@ -359,9 +400,26 @@ class OutcomeStream
     OutcomeStream(std::FILE *out, bool owned) : out_(out), owned_(owned)
     {
     }
+    explicit OutcomeStream(net::HostPort store);
 
-    std::FILE *out_;
-    bool owned_; ///< close on destruction ("-" leaves stdout open)
+    /** Append the run-identity fields when set (mutex held). */
+    void appendMeta(std::string &event) const;
+    /** Ship one frame: file write or acked tcp send (mutex held). */
+    void emitLine(const std::string &line);
+    /** One acked tcp delivery attempt; false resets the socket. */
+    bool sendAcked(const std::string &line, std::string &error);
+
+    std::FILE *out_ = nullptr;
+    bool owned_ = false; ///< close on destruction ("-" leaves stdout open)
+
+    net::HostPort store_;   ///< tcp: daemon endpoint (tcp mode only)
+    bool tcp_ = false;
+    net::Fd sock_;
+    net::LineReader reader_;
+    Rng rng_{0x9b115edau};
+    int dropped_ = 0;
+
+    std::string suite_, rev_, run_;
     std::mutex mutex_;
 };
 

@@ -58,8 +58,23 @@ void
 Server::serveConn(Conn *conn)
 {
     LineReader reader(conn->fd.get());
+    const int deadlineMs = idleReadDeadlineMs_ > 0 ? idleReadDeadlineMs_
+                                                   : -1;
     std::string line, error;
-    while (reader.readLine(line, error) == LineReader::Status::Line) {
+    for (;;) {
+        LineReader::Status status =
+            reader.readLine(line, error, deadlineMs);
+        if (status == LineReader::Status::Timeout) {
+            // Idle (or stalled) connection: re-arm the read. Partial
+            // bytes stay buffered, so a slow frame still completes;
+            // stop() still wins promptly because the shutdown below
+            // turns the next read into an immediate EOF.
+            if (stopping_.load())
+                break;
+            continue;
+        }
+        if (status != LineReader::Status::Line)
+            break;
         std::optional<std::string> reply = handler_(line);
         if (!reply.has_value())
             break;

@@ -58,6 +58,17 @@ class Server
      */
     bool start(std::uint16_t port, Handler handler, std::string &error);
 
+    /**
+     * Bound each per-connection read to @p ms of wall clock (the
+     * default is 1000; <= 0 restores the historical unbounded read).
+     * An expired deadline just re-arms the read — an idle connection
+     * stays open — but it caps what any single silent stretch can
+     * cost: an injected stall burns the deadline instead of the 30s
+     * unbounded-read cap, so daemon teardown never waits behind one.
+     * Call before start().
+     */
+    void setIdleReadDeadlineMs(int ms) { idleReadDeadlineMs_ = ms; }
+
     /** The bound port (valid after a successful start). */
     std::uint16_t port() const { return port_; }
 
@@ -84,6 +95,7 @@ class Server
 
     Handler handler_;
     Fd listen_;
+    int idleReadDeadlineMs_ = 1000;
     std::uint16_t port_ = 0;
     std::thread acceptThread_;
     std::mutex mutex_; ///< guards conns_

@@ -1,0 +1,321 @@
+#include "store/event_log.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace l0vliw::store
+{
+
+// ---- event decoding ----
+
+namespace
+{
+
+/** Optional string member: leaves @p out alone when absent. */
+void
+takeString(const json::Value &obj, const char *key, std::string &out)
+{
+    const json::Value *v = obj.find(key);
+    if (v != nullptr && v->isString())
+        out = v->str();
+}
+
+} // namespace
+
+bool
+Event::decode(const std::string &line, Event &out, std::string &error)
+{
+    std::optional<json::Value> doc = json::parse(line, &error);
+    if (!doc)
+        return false;
+    if (!doc->isObject()) {
+        error = "event is not an object";
+        return false;
+    }
+    const json::Value *kind = doc->find("event");
+    if (kind == nullptr || !kind->isString()) {
+        error = "missing or non-string field 'event'";
+        return false;
+    }
+
+    out = Event{};
+    takeString(*doc, "suite", out.suite);
+    takeString(*doc, "rev", out.rev);
+    takeString(*doc, "run", out.run);
+
+    if (kind->str() == "grid") {
+        out.kind = Kind::Grid;
+        const json::Value *table = doc->find("table");
+        if (table == nullptr) {
+            error = "grid event without a 'table'";
+            return false;
+        }
+        return tableFromJsonValue(*table, out.table, error);
+    }
+    if (kind->str() != "cell") {
+        error = "unknown event kind '" + kind->str() + "'";
+        return false;
+    }
+
+    out.kind = Kind::Cell;
+    const json::Value *bench = doc->find("bench");
+    const json::Value *arch = doc->find("arch");
+    const json::Value *ok = doc->find("ok");
+    if (bench == nullptr || !bench->isString() || arch == nullptr
+        || !arch->isString() || ok == nullptr || !ok->isBool()) {
+        error = "cell event without bench/arch/ok";
+        return false;
+    }
+    out.bench = bench->str();
+    out.arch = arch->str();
+    out.ok = ok->boolean();
+    if (const json::Value *id = doc->find("id"))
+        out.id = id->isNumber() ? id->asU64() : 0;
+    // Tolerant, exactly like CellOutcome::fromJson: reason/attempts
+    // are absent from pre-taxonomy events, unknown reasons are None.
+    if (const json::Value *reason = doc->find("reason"))
+        out.reason = reason->isString()
+                         ? failReasonFromName(reason->str())
+                         : FailReason::None;
+    if (const json::Value *attempts = doc->find("attempts"))
+        out.attempts = attempts->isNumber()
+                           ? static_cast<int>(attempts->asI64())
+                           : 1;
+    if (const json::Value *wall = doc->find("wallMs"))
+        out.wallMs = wall->isNumber() ? wall->asDouble() : 0;
+    // The diff metric rides inside outcome.run; an event without one
+    // (a stripped-down producer) still ingests, it just cannot diff.
+    if (const json::Value *outcome = doc->find("outcome")) {
+        const json::Value *run =
+            outcome->isObject() ? outcome->find("run") : nullptr;
+        if (run != nullptr && run->isObject()) {
+            for (const char *key :
+                 {"loopCompute", "loopStall", "scalarCycles"}) {
+                const json::Value *v = run->find(key);
+                if (v != nullptr && v->isNumber())
+                    out.totalCycles += v->asU64();
+            }
+        }
+    }
+    return true;
+}
+
+// ---- index types ----
+
+std::uint64_t
+RunInfo::failedCells() const
+{
+    std::uint64_t failed = 0;
+    for (const auto &kv : cells)
+        failed += kv.second.ok ? 0 : 1;
+    return failed;
+}
+
+const RunInfo *
+SuiteInfo::findRun(const std::string &run) const
+{
+    for (const auto &info : runs)
+        if (info.run == run)
+            return &info;
+    return nullptr;
+}
+
+// ---- the log ----
+
+bool
+EventLog::open(const std::string &path, std::string &error)
+{
+    fd_.reset(::open(path.c_str(), O_RDWR | O_CREAT, 0644));
+    if (!fd_.valid()) {
+        error = path + ": " + std::strerror(errno);
+        return false;
+    }
+
+    // Replay: read everything, index every complete line, and note
+    // where the last complete line ends — a crash mid-append leaves a
+    // torn tail we truncate away (the publisher's resend covers it).
+    std::string content;
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = path + ": read: " + std::strerror(errno);
+            return false;
+        }
+        if (n == 0)
+            break;
+        content.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::size_t keep = 0;
+    std::size_t begin = 0;
+    while (begin < content.size()) {
+        std::size_t nl = content.find('\n', begin);
+        if (nl == std::string::npos)
+            break; // torn tail
+        std::string line = content.substr(begin, nl - begin);
+        begin = keep = nl + 1;
+        if (line.empty())
+            continue;
+        Event event;
+        std::string decodeError;
+        if (!Event::decode(line, event, decodeError)) {
+            // Skipped, counted, left in place: the log is the
+            // database and this layer never rewrites history.
+            ++malformed_;
+            continue;
+        }
+        if (index(event))
+            ++replayed_;
+    }
+    truncatedTail_ = content.size() - keep;
+    if (truncatedTail_ > 0) {
+        warn("%s: dropping %llu-byte torn final line", path.c_str(),
+             static_cast<unsigned long long>(truncatedTail_));
+        if (::ftruncate(fd_.get(), static_cast<off_t>(keep)) != 0) {
+            error = path + ": ftruncate: " + std::strerror(errno);
+            return false;
+        }
+    }
+    if (::lseek(fd_.get(), 0, SEEK_END) < 0) {
+        error = path + ": lseek: " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+EventLog::Ingest
+EventLog::ingest(const std::string &line, std::string &error)
+{
+    Event event;
+    if (!Event::decode(line, event, error)) {
+        ++malformed_;
+        return Ingest::Malformed;
+    }
+    if (!index(event))
+        return Ingest::Duplicate;
+
+    // One write per line: a crash between events loses nothing, a
+    // crash mid-write tears only the final line — which the next
+    // open() truncates away.
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        ssize_t n = ::write(fd_.get(), framed.data() + off,
+                            framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // The event is already indexed and served; losing the
+            // disk copy degrades restart, not the running daemon.
+            warn("event log append failed: %s", std::strerror(errno));
+            break;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return Ingest::Stored;
+}
+
+bool
+EventLog::index(const Event &event)
+{
+    auto inserted = suites_.emplace(event.suite, SuiteInfo{});
+    SuiteInfo &suite = inserted.first->second;
+    if (inserted.second)
+        suiteOrder_.push_back(event.suite);
+
+    RunInfo *run = nullptr;
+    for (auto &info : suite.runs)
+        if (info.run == event.run)
+            run = &info;
+    if (run == nullptr) {
+        suite.runs.emplace_back();
+        run = &suite.runs.back();
+        run->run = event.run;
+        run->rev = event.rev;
+    }
+
+    if (event.kind == Event::Kind::Grid) {
+        // One grid per run: a resend after a lost ack is byte-
+        // identical, so replacing would change nothing and keeping
+        // the first stored copy keeps the log append-only in spirit.
+        if (run->hasGrid) {
+            ++suite.counters.duplicates;
+            return false;
+        }
+        run->hasGrid = true;
+        run->grid = event.table;
+        run->seq = ++seq_;
+        ++suite.counters.grids;
+        return true;
+    }
+
+    if (!run->seenIds.insert(event.id).second) {
+        ++suite.counters.duplicates;
+        return false;
+    }
+    CellRecord &cell = run->cells[{event.bench, event.arch}];
+    cell.ok = event.ok;
+    cell.reason = event.reason;
+    cell.attempts = event.attempts;
+    cell.wallMs = event.wallMs;
+    cell.totalCycles = event.totalCycles;
+    run->seq = ++seq_;
+    ++suite.counters.cells;
+    if (!event.ok) {
+        ++suite.counters.failed;
+        ++suite.counters.byReason[static_cast<int>(event.reason)];
+    }
+    return true;
+}
+
+std::vector<std::string>
+EventLog::suiteNames() const
+{
+    return suiteOrder_;
+}
+
+const SuiteInfo *
+EventLog::suite(const std::string &name) const
+{
+    auto it = suites_.find(name);
+    return it == suites_.end() ? nullptr : &it->second;
+}
+
+const RunInfo *
+EventLog::latestRun(const std::string &suiteName) const
+{
+    const SuiteInfo *info = suite(suiteName);
+    if (info == nullptr)
+        return nullptr;
+    const RunInfo *latest = nullptr;
+    for (const auto &run : info->runs)
+        if (latest == nullptr || run.seq > latest->seq)
+            latest = &run;
+    return latest;
+}
+
+const RunInfo *
+EventLog::latestRunAtRev(const std::string &suiteName,
+                         const std::string &rev) const
+{
+    const SuiteInfo *info = suite(suiteName);
+    if (info == nullptr)
+        return nullptr;
+    const RunInfo *latest = nullptr;
+    for (const auto &run : info->runs)
+        if (run.rev == rev && (latest == nullptr || run.seq > latest->seq))
+            latest = &run;
+    return latest;
+}
+
+} // namespace l0vliw::store

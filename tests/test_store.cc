@@ -1,0 +1,620 @@
+/**
+ * @file
+ * The result store (src/store): tolerant event decoding, EventLog
+ * round-trip / reopen / index rebuild / torn-tail recovery, ingest
+ * idempotency, the query protocol, chaos ingest over a faulty
+ * connection, and the loopback end-to-end contract — one stored event
+ * per dispatched cell and a latest-grid answer byte-identical to the
+ * driver's own table.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "driver/cli.hh"
+#include "driver/executor.hh"
+#include "driver/suite.hh"
+#include "net/fault.hh"
+#include "net/framing.hh"
+#include "net/server.hh"
+#include "net/socket.hh"
+#include "store/event_log.hh"
+#include "store/service.hh"
+
+using namespace l0vliw;
+using store::Event;
+using store::EventLog;
+using store::StoreService;
+
+namespace
+{
+
+/** A per-test temp path for the log file (removed on destruction). */
+class TempLog
+{
+  public:
+    explicit TempLog(const char *tag)
+        : path_("/tmp/l0vliw_store_" + std::string(tag) + "_"
+                + std::to_string(getpid()) + ".ndjson")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempLog() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A publisher-shaped cell event line. */
+std::string
+cellLine(const std::string &suite, const std::string &rev,
+         const std::string &run, std::uint64_t id,
+         const std::string &bench, const std::string &arch, bool ok,
+         std::uint64_t cycles)
+{
+    driver::CellOutcome outcome;
+    outcome.id = id;
+    outcome.ok = ok;
+    if (!ok) {
+        outcome.error = "synthetic failure";
+        outcome.reason = FailReason::Timeout;
+    }
+    outcome.run.bench = bench;
+    outcome.run.arch = arch;
+    outcome.run.loopCompute = cycles;
+    std::string line = "{\"event\":\"cell\",\"id\":"
+                       + std::to_string(id)
+                       + ",\"bench\":" + json::quote(bench)
+                       + ",\"arch\":" + json::quote(arch)
+                       + ",\"suite\":" + json::quote(suite)
+                       + ",\"rev\":" + json::quote(rev)
+                       + ",\"run\":" + json::quote(run) + ",\"ok\":";
+    line += ok ? "true" : "false";
+    if (!ok)
+        line += ",\"reason\":\"timeout\"";
+    line += ",\"attempts\":1,\"wallMs\":1.5,\"outcome\":"
+            + outcome.toJson() + "}";
+    return line;
+}
+
+/** A publisher-shaped grid frame. */
+std::string
+gridLine(const std::string &suite, const std::string &rev,
+         const std::string &run, const ResultTable &table)
+{
+    return "{\"event\":\"grid\",\"suite\":" + json::quote(suite)
+           + ",\"rev\":" + json::quote(rev)
+           + ",\"run\":" + json::quote(run)
+           + ",\"table\":" + tableToWireJson(table) + "}";
+}
+
+ResultTable
+sampleTable()
+{
+    ResultTable t;
+    t.title = "sample grid\n";
+    t.footer = "footer line\n";
+    t.header = {"benchmark", "norm", "hit%"};
+    t.rows = {{CellValue::text("gsmdec"), CellValue::fixed(1.2345, 2),
+               CellValue::percent(0.981, 1)},
+              {CellValue::text("epicdec"), CellValue::fixed(0.75, 2),
+               CellValue::percent(0.5, 1)}};
+    return t;
+}
+
+/** Decode a query reply; fails the test on malformed framing. */
+void
+parseReply(const std::string &reply, bool &ok, int &exit,
+           std::string &text, std::string &error)
+{
+    std::string parseError;
+    std::optional<json::Value> doc = json::parse(reply, &parseError);
+    ASSERT_TRUE(doc.has_value()) << parseError << ": " << reply;
+    ASSERT_TRUE(doc->isObject());
+    const json::Value *okField = doc->find("ok");
+    ASSERT_NE(okField, nullptr);
+    ok = okField->boolean();
+    exit = 0;
+    text.clear();
+    error.clear();
+    if (const json::Value *v = doc->find("exit"))
+        exit = static_cast<int>(v->asI64());
+    if (const json::Value *v = doc->find("text"))
+        text = v->str();
+    if (const json::Value *v = doc->find("error"))
+        error = v->str();
+}
+
+} // namespace
+
+// ---- lossless table wire encoding ----
+
+TEST(TableWire, RoundTripsByteIdentically)
+{
+    ResultTable t = sampleTable();
+    t.rows.push_back({CellValue::text("ids"),
+                      CellValue::integer(0xffffffffffffffffULL),
+                      CellValue::fixed(1.0 / 3.0, 5)});
+    std::string wire = tableToWireJson(t);
+    ResultTable back;
+    std::string error;
+    ASSERT_TRUE(tableFromWireJson(wire, back, error)) << error;
+    EXPECT_EQ(renderText(back), renderText(t));
+    EXPECT_EQ(renderCsv(back), renderCsv(t));
+    EXPECT_EQ(renderJson(back), renderJson(t));
+    // And the wire form itself is stable across a round trip.
+    EXPECT_EQ(tableToWireJson(back), wire);
+}
+
+TEST(TableWire, RejectsMalformedTables)
+{
+    ResultTable out;
+    std::string error;
+    EXPECT_FALSE(tableFromWireJson("not json", out, error));
+    EXPECT_FALSE(tableFromWireJson("{\"title\":\"t\"}", out, error));
+    EXPECT_FALSE(tableFromWireJson(
+        "{\"title\":\"\",\"footer\":\"\",\"header\":[],"
+        "\"rows\":[[{\"k\":\"f\",\"v\":\"oops\"}]]}",
+        out, error));
+}
+
+// ---- event decoding ----
+
+TEST(StoreEvent, DecodesPublisherCellEvents)
+{
+    Event e;
+    std::string error;
+    ASSERT_TRUE(Event::decode(
+        cellLine("fig7", "abc123", "r1", 7, "gsmdec", "l0-8", true, 500),
+        e, error))
+        << error;
+    EXPECT_EQ(e.kind, Event::Kind::Cell);
+    EXPECT_EQ(e.suite, "fig7");
+    EXPECT_EQ(e.rev, "abc123");
+    EXPECT_EQ(e.run, "r1");
+    EXPECT_EQ(e.id, 7u);
+    EXPECT_EQ(e.bench, "gsmdec");
+    EXPECT_EQ(e.arch, "l0-8");
+    EXPECT_TRUE(e.ok);
+    EXPECT_EQ(e.totalCycles, 500u);
+}
+
+TEST(StoreEvent, TolerantDecodeDefaultsIdentityAndTaxonomy)
+{
+    // A minimal pre-store event: no suite/rev/run, no reason, no
+    // attempts, no outcome — still ingestable.
+    Event e;
+    std::string error;
+    ASSERT_TRUE(Event::decode("{\"event\":\"cell\",\"id\":3,"
+                              "\"bench\":\"b\",\"arch\":\"a\","
+                              "\"ok\":true}",
+                              e, error))
+        << error;
+    EXPECT_EQ(e.suite, "default");
+    EXPECT_EQ(e.rev, "unknown");
+    EXPECT_EQ(e.run, "adhoc");
+    EXPECT_EQ(e.reason, FailReason::None);
+    EXPECT_EQ(e.attempts, 1);
+    EXPECT_EQ(e.totalCycles, 0u);
+
+    // Unknown reason names decode to None (forward compatibility).
+    ASSERT_TRUE(Event::decode("{\"event\":\"cell\",\"id\":4,"
+                              "\"bench\":\"b\",\"arch\":\"a\","
+                              "\"ok\":false,"
+                              "\"reason\":\"flux-capacitor\"}",
+                              e, error));
+    EXPECT_EQ(e.reason, FailReason::None);
+}
+
+TEST(StoreEvent, RejectsMalformedEvents)
+{
+    Event e;
+    std::string error;
+    EXPECT_FALSE(Event::decode("not json", e, error));
+    EXPECT_FALSE(Event::decode("{\"event\":\"dance\"}", e, error));
+    EXPECT_FALSE(Event::decode("{\"event\":\"cell\",\"id\":1}", e,
+                               error));
+    EXPECT_FALSE(Event::decode("{\"event\":\"grid\"}", e, error));
+}
+
+// ---- EventLog ----
+
+TEST(EventLogTest, RoundTripReopenRebuildsIndex)
+{
+    TempLog log("roundtrip");
+    ResultTable table = sampleTable();
+    {
+        EventLog store;
+        std::string error;
+        ASSERT_TRUE(store.open(log.path(), error)) << error;
+        for (int i = 0; i < 4; ++i)
+            ASSERT_EQ(store.ingest(
+                          cellLine("s", "rev1", "r1", i + 1, "bench",
+                                   "arch-" + std::to_string(i), true,
+                                   100 * (i + 1)),
+                          error),
+                      EventLog::Ingest::Stored)
+                << error;
+        ASSERT_EQ(store.ingest(gridLine("s", "rev1", "r1", table),
+                               error),
+                  EventLog::Ingest::Stored)
+            << error;
+    }
+
+    EventLog reopened;
+    std::string error;
+    ASSERT_TRUE(reopened.open(log.path(), error)) << error;
+    EXPECT_EQ(reopened.replayed(), 5u);
+    EXPECT_EQ(reopened.malformed(), 0u);
+    EXPECT_EQ(reopened.truncatedTail(), 0u);
+
+    const store::RunInfo *run = reopened.latestRun("s");
+    ASSERT_NE(run, nullptr);
+    EXPECT_EQ(run->run, "r1");
+    EXPECT_EQ(run->rev, "rev1");
+    EXPECT_EQ(run->cells.size(), 4u);
+    EXPECT_EQ(run->failedCells(), 0u);
+    ASSERT_TRUE(run->hasGrid);
+    EXPECT_EQ(renderText(run->grid), renderText(table));
+    auto cell = run->cells.find({"bench", "arch-2"});
+    ASSERT_NE(cell, run->cells.end());
+    EXPECT_EQ(cell->second.totalCycles, 300u);
+}
+
+TEST(EventLogTest, DuplicateIngestIsIdempotent)
+{
+    TempLog log("dedup");
+    EventLog store;
+    std::string error;
+    ASSERT_TRUE(store.open(log.path(), error)) << error;
+
+    std::string line = cellLine("s", "rev1", "r1", 1, "b", "a", true, 10);
+    EXPECT_EQ(store.ingest(line, error), EventLog::Ingest::Stored);
+    EXPECT_EQ(store.ingest(line, error), EventLog::Ingest::Duplicate);
+    // Same id in a *different* run is not a duplicate.
+    EXPECT_EQ(store.ingest(cellLine("s", "rev1", "r2", 1, "b", "a",
+                                    true, 10),
+                           error),
+              EventLog::Ingest::Stored);
+
+    std::string grid = gridLine("s", "rev1", "r1", sampleTable());
+    EXPECT_EQ(store.ingest(grid, error), EventLog::Ingest::Stored);
+    EXPECT_EQ(store.ingest(grid, error), EventLog::Ingest::Duplicate);
+
+    const store::SuiteInfo *info = store.suite("s");
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->counters.cells, 2u);
+    EXPECT_EQ(info->counters.duplicates, 2u);
+    EXPECT_EQ(info->counters.grids, 1u);
+
+    // Duplicates were not appended: a reopen replays exactly the
+    // stored events.
+    EventLog reopened;
+    ASSERT_TRUE(reopened.open(log.path(), error)) << error;
+    EXPECT_EQ(reopened.replayed(), 3u);
+}
+
+TEST(EventLogTest, TruncatedTailToleratedOnReopen)
+{
+    TempLog log("torn");
+    std::string whole = cellLine("s", "rev1", "r1", 1, "b", "a", true, 7);
+    {
+        std::ofstream out(log.path());
+        out << whole << "\n";
+        // A crash mid-append: the second line never got its newline.
+        out << "{\"event\":\"cell\",\"id\":2,\"bench\":\"b\"";
+    }
+
+    EventLog store;
+    std::string error;
+    ASSERT_TRUE(store.open(log.path(), error)) << error;
+    EXPECT_EQ(store.replayed(), 1u);
+    EXPECT_GT(store.truncatedTail(), 0u);
+    // Appending after the repair works and lands on a clean boundary.
+    ASSERT_EQ(store.ingest(cellLine("s", "rev1", "r1", 2, "b", "a2",
+                                    true, 8),
+                           error),
+              EventLog::Ingest::Stored);
+
+    EventLog reopened;
+    ASSERT_TRUE(reopened.open(log.path(), error)) << error;
+    EXPECT_EQ(reopened.replayed(), 2u);
+    EXPECT_EQ(reopened.truncatedTail(), 0u);
+    const store::RunInfo *run = reopened.latestRun("s");
+    ASSERT_NE(run, nullptr);
+    EXPECT_EQ(run->cells.size(), 2u);
+}
+
+TEST(EventLogTest, MalformedCompleteLinesAreSkippedNotDeleted)
+{
+    TempLog log("malformed");
+    {
+        std::ofstream out(log.path());
+        out << "this is not an event\n";
+        out << cellLine("s", "rev1", "r1", 1, "b", "a", true, 7) << "\n";
+    }
+    EventLog store;
+    std::string error;
+    ASSERT_TRUE(store.open(log.path(), error)) << error;
+    EXPECT_EQ(store.replayed(), 1u);
+    EXPECT_EQ(store.malformed(), 1u);
+
+    // The log file keeps the malformed line: never rewrite history.
+    std::ifstream in(log.path());
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first, "this is not an event");
+}
+
+// ---- the query protocol ----
+
+TEST(StoreServiceTest, IngestAcksAndQueryProtocol)
+{
+    TempLog log("service");
+    StoreService service;
+    std::string error;
+    ASSERT_TRUE(service.open(log.path(), error)) << error;
+
+    // Heartbeat probes work against a store.
+    EXPECT_EQ(service.handleLine(driver::kCellPingLine),
+              std::string(driver::kCellPongLine));
+
+    // Ingest acks: stored, duplicate, malformed.
+    std::string line = cellLine("s", "revA", "r1", 1, "gsmdec", "l0-8",
+                                true, 100);
+    EXPECT_EQ(service.handleLine(line),
+              "{\"event\":\"ack\",\"stored\":true}");
+    EXPECT_EQ(service.handleLine(line),
+              "{\"event\":\"ack\",\"stored\":false}");
+    std::optional<std::string> nack =
+        service.handleLine("{\"event\":\"dance\"}");
+    ASSERT_TRUE(nack.has_value());
+    EXPECT_NE(nack->find("\"event\":\"nack\""), std::string::npos);
+
+    // Populate: run r1 at revA (1 more cell + grid), run r2 at revB
+    // with one cell 50% slower and one failed.
+    ResultTable table = sampleTable();
+    service.handleLine(cellLine("s", "revA", "r1", 2, "epicdec", "l0-8",
+                                true, 200));
+    service.handleLine(gridLine("s", "revA", "r1", table));
+    service.handleLine(cellLine("s", "revB", "r2", 1, "gsmdec", "l0-8",
+                                true, 150));
+    service.handleLine(cellLine("s", "revB", "r2", 2, "epicdec", "l0-8",
+                                false, 0));
+
+    bool ok;
+    int exit;
+    std::string text, queryError;
+
+    // latest-grid: the stored table re-renders byte-identically.
+    parseReply(*service.handleLine("latest-grid s"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(exit, 0);
+    EXPECT_EQ(text, renderText(table));
+    parseReply(*service.handleLine("latest-grid s csv"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(text, renderCsv(table));
+    parseReply(*service.handleLine("latest-grid nosuch"), ok, exit,
+               text, queryError);
+    EXPECT_FALSE(ok);
+
+    // diff of a rev against itself: all zero, exit 0.
+    parseReply(*service.handleLine("diff s revA revA"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(exit, 0);
+    EXPECT_NE(text.find("PASS"), std::string::npos);
+
+    // revB is 50% slower on gsmdec and failed on epicdec: both the
+    // threshold and the incomparable cell fail the diff.
+    parseReply(*service.handleLine("diff s revA revB 10"), ok, exit,
+               text, queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(exit, 1);
+    EXPECT_NE(text.find("50.00"), std::string::npos);
+    EXPECT_NE(text.find("fail"), std::string::npos);
+    // A threshold above the regression still fails on the failed cell.
+    parseReply(*service.handleLine("diff s revA revB 80"), ok, exit,
+               text, queryError);
+    EXPECT_EQ(exit, 1);
+    parseReply(*service.handleLine("diff s revA nosuchrev"), ok, exit,
+               text, queryError);
+    EXPECT_FALSE(ok);
+
+    // runs: both runs listed in ingest order.
+    parseReply(*service.handleLine("runs s"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok);
+    EXPECT_NE(text.find("r1"), std::string::npos);
+    EXPECT_NE(text.find("r2"), std::string::npos);
+    EXPECT_NE(text.find("revB"), std::string::npos);
+
+    // stats: the duplicate, the failure, and its taxonomy bucket.
+    parseReply(*service.handleLine("stats"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok);
+    EXPECT_NE(text.find("s"), std::string::npos);
+    EXPECT_NE(text.find("timeout"), std::string::npos);
+
+    parseReply(*service.handleLine("frobnicate"), ok, exit, text,
+               queryError);
+    EXPECT_FALSE(ok);
+}
+
+// ---- chaos ingest ----
+
+TEST(StoreServiceTest, FaultyConnectionNeverCorruptsTheLog)
+{
+    TempLog log("chaos");
+    StoreService service;
+    std::string error;
+    ASSERT_TRUE(service.open(log.path(), error)) << error;
+
+    net::Server server;
+    ASSERT_TRUE(server.start(0, service.handler(), error)) << error;
+
+    // Corruption, resets, and delays — but no drops or stalls, which
+    // only exercise the (slow) ack-deadline path, not log integrity.
+    net::FaultSpec spec;
+    std::string specError;
+    ASSERT_TRUE(net::FaultSpec::parse(
+        "seed=11,delay=0..2ms@0.2,corrupt@0.1,reset@0.05", spec,
+        specError))
+        << specError;
+
+    int published = 0;
+    {
+        net::ScopedFaultPlan faulty(spec);
+        std::unique_ptr<driver::OutcomeStream> sink =
+            driver::OutcomeStream::open(
+                "tcp:127.0.0.1:" + std::to_string(server.port()),
+                error);
+        // The eager connect itself may be reset; retry a few times.
+        for (int i = 0; sink == nullptr && i < 10; ++i)
+            sink = driver::OutcomeStream::open(
+                "tcp:127.0.0.1:" + std::to_string(server.port()),
+                error);
+        ASSERT_NE(sink, nullptr) << error;
+        sink->setMeta("chaos", "rev1", "r1");
+
+        for (int i = 0; i < 40; ++i) {
+            driver::CellJob job;
+            job.id = static_cast<std::uint64_t>(i + 1);
+            job.bench = "bench-" + std::to_string(i);
+            job.arch = "l0-8";
+            driver::CellOutcome outcome;
+            outcome.id = job.id;
+            outcome.ok = true;
+            outcome.run.bench = job.bench;
+            outcome.run.arch = job.arch;
+            outcome.run.loopCompute = 100 + i;
+            sink->write(job, outcome, 1.0);
+            ++published;
+        }
+        EXPECT_LE(sink->dropped(), published);
+    }
+    server.stop();
+
+    // Whatever the faults did, the persisted log must be pristine:
+    // every line decodes, nothing tore.
+    EventLog reopened;
+    ASSERT_TRUE(reopened.open(log.path(), error)) << error;
+    EXPECT_EQ(reopened.malformed(), 0u);
+    EXPECT_EQ(reopened.truncatedTail(), 0u);
+    // And everything the store acked as stored is in the index.
+    const store::SuiteInfo *info = reopened.suite("chaos");
+    if (info != nullptr) {
+        const store::RunInfo *run = info->findRun("r1");
+        ASSERT_NE(run, nullptr);
+        EXPECT_LE(run->cells.size(),
+                  static_cast<std::size_t>(published));
+        for (const auto &kv : run->cells)
+            EXPECT_EQ(kv.second.totalCycles,
+                      100u + std::stoul(kv.first.first.substr(6)));
+    }
+}
+
+// ---- loopback end-to-end ----
+
+TEST(StoreEndToEnd, LoopbackPublishMatchesInProcessGrid)
+{
+    // The reference: a small suite run entirely in-process.
+    auto makeSpec = []() {
+        driver::ExperimentSpec spec;
+        spec.title = "e2e grid\n";
+        spec.footer = "e2e footer\n";
+        spec.benchmarks = {"stream-4", "reduce-2"};
+        spec.archs = {"l0-2", "l0-8"};
+        spec.columns = {driver::normalizedColumn("l0-2", 0),
+                        driver::normalizedColumn("l0-8", 1)};
+        return spec;
+    };
+    driver::Suite reference(makeSpec());
+    driver::ExecOptions plain;
+    ResultTable direct = reference.run(plain).render();
+
+    // The store under test.
+    TempLog log("e2e");
+    StoreService service;
+    std::string error;
+    ASSERT_TRUE(service.open(log.path(), error)) << error;
+    net::Server server;
+    ASSERT_TRUE(server.start(0, service.handler(), error)) << error;
+    const std::string endpoint =
+        "127.0.0.1:" + std::to_string(server.port());
+
+    // Publish two identical runs at two revs (rev diffs need both).
+    for (int pass = 0; pass < 2; ++pass) {
+        std::unique_ptr<driver::OutcomeStream> sink =
+            driver::OutcomeStream::open("tcp:" + endpoint, error);
+        ASSERT_NE(sink, nullptr) << error;
+        sink->setMeta("e2e", pass == 0 ? "revA" : "revB",
+                      pass == 0 ? "runA" : "runB");
+        driver::ExecOptions opts;
+        opts.onOutcome = sink->callback();
+        driver::Suite suite(makeSpec());
+        ResultTable published = suite.run(opts).render();
+        sink->writeGrid(published);
+        EXPECT_EQ(sink->dropped(), 0);
+        EXPECT_EQ(renderText(published), renderText(direct));
+    }
+
+    // Exactly one stored event per dispatched cell (2 benchmarks x
+    // 2 architectures, none unified), per run — no duplicates, no
+    // losses.
+    {
+        const store::SuiteInfo *info = service.log().suite("e2e");
+        ASSERT_NE(info, nullptr);
+        EXPECT_EQ(info->counters.cells, 8u);
+        EXPECT_EQ(info->counters.duplicates, 0u);
+        EXPECT_EQ(info->counters.grids, 2u);
+        EXPECT_EQ(info->counters.failed, 0u);
+        for (const auto &runName : {"runA", "runB"}) {
+            const store::RunInfo *run = info->findRun(runName);
+            ASSERT_NE(run, nullptr);
+            EXPECT_EQ(run->cells.size(), 4u);
+        }
+    }
+
+    // Query over the real socket, like the l0store client does:
+    // latest-grid must be byte-identical to the driver's own table.
+    net::Fd conn = net::connectTcp("127.0.0.1", server.port(), error);
+    ASSERT_TRUE(conn.valid()) << error;
+    net::LineReader reader(conn.get());
+    auto query = [&](const std::string &q) {
+        EXPECT_TRUE(net::writeLine(conn.get(), q, error)) << error;
+        std::string reply;
+        EXPECT_EQ(reader.readLine(reply, error, 10000),
+                  net::LineReader::Status::Line)
+            << error;
+        return reply;
+    };
+
+    bool ok;
+    int exit;
+    std::string text, queryError;
+    parseReply(query("latest-grid e2e"), ok, exit, text, queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(exit, 0);
+    EXPECT_EQ(text, renderText(direct));
+
+    // A diff of the two identical runs: all-zero deltas, exit 0.
+    parseReply(query("diff e2e revA revB"), ok, exit, text, queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(exit, 0);
+    EXPECT_NE(text.find("PASS"), std::string::npos);
+
+    conn.reset();
+    server.stop();
+}
