@@ -318,7 +318,9 @@ BENCHMARK(BM_SuiteSubprocess)->Arg(4)->Unit(benchmark::kMillisecond);
 
 /** The TCP transport's end-to-end cost: the same grid through a
  *  loopback --serve daemon (connect + framing + JSON both ways per
- *  cell) over state.range(0) concurrent connections. */
+ *  cell) over state.range(0) concurrent connections, pinned to
+ *  window=1 — the strict lockstep exchange, one round trip per cell,
+ *  the baseline BM_SuiteTcpPipelined is measured against. */
 void
 BM_SuiteTcp(benchmark::State &state)
 {
@@ -326,6 +328,7 @@ BM_SuiteTcp(benchmark::State &state)
     driver::ExecOptions exec;
     exec.backend = driver::ExecBackend::Tcp;
     exec.jobs = static_cast<int>(state.range(0));
+    exec.window = 1;
     exec.endpoints.assign(static_cast<std::size_t>(exec.jobs),
                           loopbackDaemonEndpoint());
     for (auto _ : state) {
@@ -335,6 +338,55 @@ BM_SuiteTcp(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_SuiteTcp)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/** A loopback daemon serving each connection through a 2-worker
+ *  pipelined pool — what `--serve --jobs 2` runs. */
+const std::string &
+loopbackPipelinedDaemonEndpoint()
+{
+    static net::Server server;
+    static std::string endpoint = []() {
+        std::string error;
+        server.setWorkersPerConnection(2);
+        bool ok = server.start(
+            0,
+            [](const std::string &line) {
+                return std::optional<std::string>(
+                    driver::handleCellLine(line));
+            },
+            error);
+        if (!ok) {
+            std::fprintf(stderr, "pipelined loopback daemon: %s\n",
+                         error.c_str());
+            std::abort();
+        }
+        return "127.0.0.1:" + std::to_string(server.port());
+    }();
+    return endpoint;
+}
+
+/** The same grid with the default window (4 jobs in flight per
+ *  connection) into the pipelined daemon. On loopback the RTT is
+ *  ~zero, so the delta vs BM_SuiteTcp is the protocol's overlap
+ *  machinery, not a latency win — see the --window note in
+ *  src/driver/README.md; on a single-core host the daemon's worker
+ *  pool adds nothing and the two should be within noise. */
+void
+BM_SuiteTcpPipelined(benchmark::State &state)
+{
+    driver::Suite suite(suiteSpec());
+    driver::ExecOptions exec;
+    exec.backend = driver::ExecBackend::Tcp;
+    exec.jobs = static_cast<int>(state.range(0));
+    exec.endpoints.assign(static_cast<std::size_t>(exec.jobs),
+                          loopbackPipelinedDaemonEndpoint());
+    for (auto _ : state) {
+        driver::ResultGrid grid = suite.run(exec);
+        benchmark::DoNotOptimize(grid.cell(0, 0).normalized);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SuiteTcpPipelined)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

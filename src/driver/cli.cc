@@ -47,6 +47,17 @@ parseCellTimeout(const std::string &val)
     return static_cast<int>(ms);
 }
 
+int
+parseWindow(const std::string &val)
+{
+    char *end = nullptr;
+    long window = std::strtol(val.c_str(), &end, 10);
+    if (val.empty() || *end != '\0' || window < 1 || window > 256)
+        fatal("--window wants a window size in [1, 256], got '%s'",
+              val.c_str());
+    return static_cast<int>(window);
+}
+
 std::uint16_t
 parsePort(const std::string &val)
 {
@@ -186,6 +197,9 @@ parseCli(int argc, char **argv)
         } else if (matches(arg, "--cell-timeout-ms")) {
             opts.cellTimeoutMs =
                 parseCellTimeout(valueOf(i, arg, "--cell-timeout-ms"));
+        } else if (matches(arg, "--window")) {
+            opts.window = parseWindow(valueOf(i, arg, "--window"));
+            opts.windowExplicit = true;
         } else if (matches(arg, "--degrade")) {
             opts.degrade =
                 parseDegradeMode(valueOf(i, arg, "--degrade"));
@@ -212,7 +226,8 @@ parseCli(int argc, char **argv)
                 "          [--stream=<file|fd:N|->]\n"
                 "          [--publish=host:port] [--suite=NAME]\n"
                 "          [--rev=REV] [--run-id=ID]\n"
-                "          [--cell-timeout-ms=N] [--degrade=fail|local]\n"
+                "          [--cell-timeout-ms=N] [--window=N]\n"
+                "          [--degrade=fail|local]\n"
                 "          [--fault-inject=<spec>]\n"
                 "          [--format=table|csv|json] [--list]\n"
                 "          [--serve=<port>]\n"
@@ -225,14 +240,23 @@ parseCli(int argc, char **argv)
             opts.positional.push_back(std::move(arg));
         }
     }
-    if (servePort > 0)
-        std::exit(cellDaemonMain(static_cast<std::uint16_t>(servePort)));
+    if (servePort > 0) {
+        // An explicit --jobs sizes the daemon's per-connection worker
+        // pool; the default lets it use every hardware thread.
+        std::exit(cellDaemonMain(static_cast<std::uint16_t>(servePort),
+                                 opts.jobsExplicit ? opts.jobs : 0));
+    }
     if (!executorSet)
         opts.executor = execBackendFromEnv();
     if (opts.cellTimeoutMs < 0) {
         const char *env = std::getenv("L0VLIW_CELL_TIMEOUT_MS");
         if (env != nullptr && *env != '\0')
             opts.cellTimeoutMs = parseCellTimeout(env);
+    }
+    if (opts.window < 0) {
+        const char *env = std::getenv("L0VLIW_WINDOW");
+        if (env != nullptr && *env != '\0')
+            opts.window = parseWindow(env);
     }
     // Run-identity defaults: every published event needs a suite to
     // group under, a revision to diff by, and a run id to dedup on —
@@ -256,6 +280,7 @@ CliOptions::exec() const
     e.jobs = jobs;
     e.endpoints = connect;
     e.cellTimeoutMs = cellTimeoutMs;
+    e.window = window;
     e.degrade = degrade;
     // --connect without the tcp backend would run the suite locally
     // while *looking* distributed — a silently wrong measurement.
@@ -266,6 +291,10 @@ CliOptions::exec() const
     // backend that has no endpoints to degrade from.
     if (e.backend != ExecBackend::Tcp && degradeExplicit)
         fatal("--degrade only applies to --executor tcp");
+    // And windowing: pipelining is a property of the tcp transport.
+    // (The L0VLIW_WINDOW env default is exempt: it is ambient.)
+    if (e.backend != ExecBackend::Tcp && windowExplicit)
+        fatal("--window only applies to --executor tcp");
     if (e.backend == ExecBackend::Tcp) {
         if (e.endpoints.empty()) {
             const char *env = std::getenv("L0VLIW_CONNECT");

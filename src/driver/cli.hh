@@ -20,6 +20,13 @@
  *   --connect=host:port[,host:port...]
  *                       the worker daemons for --executor tcp, one
  *                       connection per entry (env: L0VLIW_CONNECT)
+ *   --window=N          jobs pipelined per tcp connection (default 4;
+ *                       1 = strict lockstep, one request one reply;
+ *                       env: L0VLIW_WINDOW). Results are bit-identical
+ *                       for every value — windowing only changes how
+ *                       many round trips overlap. See
+ *                       src/net/PROTOCOL.md and the README on picking
+ *                       a value.
  *   --stream=<file|fd:N|->
  *                       emit one NDJSON event per completed cell, as
  *                       it completes, from any executor backend
@@ -62,7 +69,10 @@
  * into a pipe-fed executor worker (jobs on stdin, outcomes on
  * stdout) — how the SubprocessExecutor re-executes any driver binary
  * as its own worker — and --serve <port> turns it into a TCP worker
- * daemon answering the same protocol until SIGINT/SIGTERM.
+ * daemon answering the same protocol until SIGINT/SIGTERM. Under
+ * --serve, an explicit --jobs N sets the daemon's per-connection
+ * worker-pool size (default: all hardware threads; 1 restores the
+ * strict serial request/reply loop).
  */
 
 #ifndef L0VLIW_DRIVER_CLI_HH
@@ -102,6 +112,11 @@ struct CliOptions
     std::string runId;
     /** --cell-timeout-ms (-1 = backend default; 0 = off). */
     int cellTimeoutMs = -1;
+    /** --window pipelined jobs per tcp connection (-1 = backend
+     *  default: 4 for tcp). */
+    int window = -1;
+    /** True when --window was given (it only applies to tcp). */
+    bool windowExplicit = false;
     /** --degrade policy for the tcp executor. */
     DegradeMode degrade = DegradeMode::Fail;
     /** True when --degrade was given (it only applies to tcp). */

@@ -1,5 +1,6 @@
 #include "driver/executor.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -7,6 +8,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -433,6 +435,16 @@ effectiveHeartbeatMs(const ExecOptions &opts)
     return opts.backend == ExecBackend::Tcp ? 5000 : 0;
 }
 
+/** The per-connection pipeline window in effect (>= 1; Tcp defaults
+ *  to 4, everything else is effectively lockstep). */
+int
+effectiveWindow(const ExecOptions &opts)
+{
+    if (opts.window >= 1)
+        return opts.window;
+    return opts.backend == ExecBackend::Tcp ? 4 : 1;
+}
+
 /** The executors' shared retry budget/backoff in RetryPolicy terms. */
 RetryPolicy
 retryPolicyOf(const ExecOptions &opts)
@@ -854,8 +866,16 @@ namespace
  * fresh index first, then from jobs re-queued by endpoints that gave
  * up on them (retired endpoints). A claimer with nothing to take but
  * with peers still mid-job *waits* — their jobs may yet come back —
- * and only returns false once every job is finally resolved, so a
+ * and only returns Done once every job is finally resolved, so a
  * healthy endpoint can pick up the entire load of a dead one.
+ *
+ * Assignment is credit-based, not round-robin: there is no static
+ * partition of jobs to endpoints. An endpoint claims (tryClaim) only
+ * while it has free window slots, and a completed reply frees a slot
+ * that is refilled immediately — so the number of jobs an endpoint
+ * drains is proportional to its observed throughput, and a fast
+ * daemon ends up serving most of the grid while a slow one chews on
+ * whatever it already holds.
  */
 struct RemoteQueue
 {
@@ -867,28 +887,43 @@ struct RemoteQueue
     {
     }
 
-    /** Blocks until a job is claimable or everything is resolved. */
-    bool
-    claim(std::size_t &i)
+    enum class Wait
+    {
+        Job,     ///< @p i claimed
+        Timeout, ///< idle wait expired (the heartbeat tick)
+        Done,    ///< every job resolved; the endpoint is finished
+    };
+
+    /**
+     * Block until a job is claimable or everything is resolved; a
+     * non-negative @p timeoutMs bounds the wait so an idle endpoint
+     * can probe its channel (the idle-channel heartbeat timer).
+     */
+    Wait
+    claimFor(std::size_t &i, int timeoutMs)
     {
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
-            if (!requeued_.empty()) {
-                i = requeued_.back();
-                requeued_.pop_back();
-                ++working_;
-                return true;
-            }
-            if (nextIdx_ < total_) {
-                i = nextIdx_++;
-                ++working_;
-                firstDispatch_[i] = ExecClock::now();
-                return true;
-            }
+            if (claimLocked(i))
+                return Wait::Job;
             if (working_ == 0)
-                return false;
-            cv_.wait(lock);
+                return Wait::Done;
+            if (timeoutMs < 0) {
+                cv_.wait(lock);
+            } else if (cv_.wait_for(lock,
+                                    std::chrono::milliseconds(timeoutMs))
+                       == std::cv_status::timeout) {
+                return Wait::Timeout;
+            }
         }
+    }
+
+    /** Claim without waiting: how an endpoint tops its window up. */
+    bool
+    tryClaim(std::size_t &i)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return claimLocked(i);
     }
 
     /** When job @p i first went out — a handed-off job keeps its
@@ -909,6 +944,18 @@ struct RemoteQueue
         cv_.notify_all();
     }
 
+    /** Give claimed-but-unresolved job @p i back to the queue with no
+     *  penalty — how a retiring endpoint returns the rest of its
+     *  window for the surviving endpoints to drain. */
+    void
+    release(std::size_t i)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        requeued_.push_back(i);
+        --working_;
+        cv_.notify_all();
+    }
+
     /**
      * This endpoint exhausted its budget on job @p i. When other
      * endpoints are still in the game and the job has not been
@@ -922,7 +969,7 @@ struct RemoteQueue
      * not presumed dead).
      */
     bool
-    retireAndRequeue(std::size_t i)
+    handOff(std::size_t i)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (active_ <= 1 || reroutes_[i] >= 1)
@@ -936,6 +983,24 @@ struct RemoteQueue
     }
 
   private:
+    bool
+    claimLocked(std::size_t &i)
+    {
+        if (!requeued_.empty()) {
+            i = requeued_.back();
+            requeued_.pop_back();
+            ++working_;
+            return true;
+        }
+        if (nextIdx_ < total_) {
+            i = nextIdx_++;
+            ++working_;
+            firstDispatch_[i] = ExecClock::now();
+            return true;
+        }
+        return false;
+    }
+
     std::mutex mutex_;
     std::condition_variable cv_;
     std::vector<std::size_t> requeued_;
@@ -959,10 +1024,12 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
     RemoteQueue queue(jobs.size(),
                       static_cast<int>(opts_.endpoints.size()));
     std::atomic<int> connects{0}, reconnects{0}, retries{0},
-        timeouts{0};
+        timeouts{0}, maxInFlight{0};
     const RetryPolicy policy = retryPolicyOf(opts_);
     const int deadlineMs = effectiveCellTimeoutMs(opts_);
     const int heartbeatMs = effectiveHeartbeatMs(opts_);
+    const int window = effectiveWindow(opts_);
+    std::vector<int> perEndpoint(opts_.endpoints.size(), 0);
 
     // Jobs only the in-process fallback can still resolve (--degrade
     // local): every endpoint permanently failed them.
@@ -970,16 +1037,21 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
     std::vector<std::size_t> degraded;
 
     // One pool thread per endpoint: each owns one connection and
-    // claims jobs off the shared queue, mirroring the subprocess
-    // pool's one-thread-one-worker discipline. A dropped connection
-    // re-queues the in-flight job on this thread and reconnects under
-    // the shared jittered RetryPolicy — the jitter keeps N endpoints
-    // from re-stampeding a restarted daemon in lockstep. A job that
+    // windows up to `window` jobs onto it, claimed off the shared
+    // queue whenever a slot is free (credit-based assignment: a reply
+    // frees a slot, so throughput sets the claim rate). Replies
+    // complete out of order against the in-flight map — the wire
+    // frames carry per-job ids. Any teardown (connect failure, broken
+    // stream, blown deadline) re-queues *every* windowed job on this
+    // thread, each charged one attempt, and reconnects under the
+    // shared jittered RetryPolicy — the jitter keeps N endpoints from
+    // re-stampeding a restarted daemon in lockstep. A job that
     // exhausts its budget is handed back to the queue for the
-    // remaining endpoints (this one retires: one dead daemon must not
-    // sink jobs a healthy one could run); only the last endpoint
-    // standing writes permanent failures into outcomes (or, under
-    // --degrade local, parks them for the in-process drain).
+    // remaining endpoints (this one retires, releasing the rest of
+    // its window: one dead daemon must not sink jobs a healthy one
+    // could run); only the last endpoint standing writes permanent
+    // failures into outcomes (or, under --degrade local, parks them
+    // for the in-process drain).
     auto work = [&](const std::string &endpoint, std::size_t index) {
         net::HostPort hp;
         std::string parseError;
@@ -988,167 +1060,312 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
         net::Fd conn;
         net::LineReader reader;
         bool everConnected = false;
-        bool probeDue = false; ///< ping before the next dispatch
-        ExecClock::time_point lastExchange = ExecClock::now();
         Rng rng(0x7eefca11u ^ (index + 1) * kGolden);
-        for (;;) {
-            std::size_t i;
-            if (!queue.claim(i))
-                break;
-            const std::string line = jobs[i].toJson();
 
-            if (heartbeatMs > 0 && conn.valid()) {
-                auto idleMs = std::chrono::duration_cast<
-                                  std::chrono::milliseconds>(
-                                  ExecClock::now() - lastExchange)
-                                  .count();
-                if (idleMs > heartbeatMs)
-                    probeDue = true;
-            }
+        struct Flight
+        {
+            std::size_t job;
+            ExecClock::time_point sent;
+            std::uint64_t seq; ///< dispatch order on this thread
+        };
+        std::map<std::uint64_t, Flight> inflight; ///< by wire job id
+        std::uint64_t nextSeq = 0;
+        std::vector<std::size_t> pending; ///< claimed, not on the wire
+        std::vector<int> attempts(jobs.size(), 0); ///< mine, per job
+        std::string lastError = "never connected";
+        FailReason lastReason = FailReason::ConnReset;
+        int cycleFails = 0; ///< teardowns since the last good reply
 
-            CellOutcome result;
-            std::string lastError = "never connected";
-            FailReason lastReason = FailReason::ConnReset;
-            bool done = false;
-            int attempt = 1;
-            for (; attempt <= policy.maxAttempts && !done; ++attempt) {
-                if (attempt > 1) {
+        // One failed cycle that never reached the wire (connect or
+        // probe failure): every job this endpoint holds pays one
+        // attempt, exactly as if it had been dispatched and lost.
+        auto chargeAll = [&]() {
+            for (std::size_t i : pending)
+                if (++attempts[i] > 1)
                     retries.fetch_add(1);
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(
-                            policy.backoffMs(attempt - 1, rng)));
-                }
-                std::string err;
-                if (!conn.valid()) {
-                    conn = net::connectTcp(hp.host, hp.port, err);
-                    if (!conn.valid()) {
-                        lastError = err;
-                        lastReason = FailReason::ConnReset;
-                        continue;
-                    }
-                    reader.reset(conn.get());
-                    connects.fetch_add(1);
-                    if (everConnected)
-                        reconnects.fetch_add(1);
-                    everConnected = true;
-                    probeDue = heartbeatMs > 0;
-                }
-
-                if (probeDue) {
-                    // Heartbeat: a daemon that accepts connections but
-                    // never serves its loop (wedged accept thread,
-                    // stalled handler) must cost one bounded probe,
-                    // not a full cell deadline.
-                    if (!net::writeLine(conn.get(), kCellPingLine,
-                                        err)) {
-                        lastError = "ping write failed: " + err;
-                        lastReason = FailReason::ConnReset;
-                        conn.reset();
-                        continue;
-                    }
-                    std::string pong;
-                    net::LineReader::Status st =
-                        reader.readLine(pong, err, heartbeatMs);
-                    if (st == net::LineReader::Status::Timeout) {
-                        timeouts.fetch_add(1);
-                        lastError = "daemon silent: no pong within "
-                                    + std::to_string(heartbeatMs)
-                                    + "ms";
-                        lastReason = FailReason::Timeout;
-                        conn.reset();
-                        continue;
-                    }
-                    if (st != net::LineReader::Status::Line
-                        || pong != kCellPongLine) {
-                        lastError =
-                            st == net::LineReader::Status::Line
+        };
+        // The wire broke with jobs in flight: re-queue every one of
+        // them locally. Exactly one job pays the attempt — the head
+        // of the line (oldest dispatch), the one the daemon was
+        // serving when the stream died. The jobs windowed behind it
+        // were never looked at, so their dispatch charge is refunded;
+        // otherwise a single broken connection would burn `window`
+        // retry budgets at once, and window=1 would no longer match
+        // lockstep accounting. @p refundHead refunds even the head —
+        // the write-failure path, where the charged victim never left
+        // `pending`.
+        auto teardown = [&](bool refundHead) {
+            conn.reset();
+            ++cycleFails;
+            std::uint64_t headSeq = ~std::uint64_t{0};
+            if (!refundHead)
+                for (const auto &kv : inflight)
+                    headSeq = std::min(headSeq, kv.second.seq);
+            for (const auto &kv : inflight) {
+                if (kv.second.seq != headSeq
+                    && --attempts[kv.second.job] >= 1)
+                    retries.fetch_sub(1);
+                pending.push_back(kv.second.job);
+            }
+            inflight.clear();
+        };
+        // Ping/pong on an otherwise quiet channel; false means the
+        // caller resets the connection.
+        auto probe = [&]() -> bool {
+            std::string err;
+            if (!net::writeLine(conn.get(), kCellPingLine, err)) {
+                lastError = "ping write failed: " + err;
+                lastReason = FailReason::ConnReset;
+                return false;
+            }
+            std::string pong;
+            net::LineReader::Status st =
+                reader.readLine(pong, err, heartbeatMs);
+            if (st == net::LineReader::Status::Timeout) {
+                timeouts.fetch_add(1);
+                lastError = "daemon silent: no pong within "
+                            + std::to_string(heartbeatMs) + "ms";
+                lastReason = FailReason::Timeout;
+                return false;
+            }
+            if (st != net::LineReader::Status::Line
+                || pong != kCellPongLine) {
+                lastError = st == net::LineReader::Status::Line
                                 ? "daemon answered ping off-protocol"
                                 : "ping probe broke: " + err;
-                        lastReason = FailReason::FrameCorrupt;
-                        conn.reset();
-                        continue;
-                    }
-                    probeDue = false;
-                    lastExchange = ExecClock::now();
-                }
+                lastReason = FailReason::FrameCorrupt;
+                return false;
+            }
+            return true;
+        };
 
-                if (!net::writeLine(conn.get(), line, err)) {
-                    lastError =
-                        "daemon dropped before accepting the job: " + err;
-                    lastReason = FailReason::ConnReset;
-                    conn.reset();
+        bool retired = false;
+        for (;;) {
+            // Resolve the jobs whose budget this endpoint burned:
+            // hand off (and retire), park for --degrade local, or
+            // fail in the outcome.
+            std::size_t k = 0;
+            while (k < pending.size()) {
+                std::size_t i = pending[k];
+                if (attempts[i] < policy.maxAttempts) {
+                    ++k;
                     continue;
                 }
-                std::string reply;
-                net::LineReader::Status status =
-                    reader.readLine(reply, err, deadlineMs);
-                if (status == net::LineReader::Status::Timeout) {
-                    // The reply may still arrive later and desync the
-                    // lockstep stream — the connection is unusable.
+                pending.erase(pending.begin()
+                              + static_cast<std::ptrdiff_t>(k));
+                if (queue.handOff(i)) {
+                    retired = true;
+                    break;
+                }
+                if (opts_.degrade == DegradeMode::Local) {
+                    // Transport-dead everywhere, but the cell itself
+                    // may be fine: park it for the in-process drain.
+                    // No event yet — the drain emits the real outcome.
+                    std::lock_guard<std::mutex> lock(degradeMutex);
+                    degraded.push_back(i);
+                } else {
+                    fillFailedOutcome(outcomes[i], jobs[i],
+                                      " via " + endpoint, attempts[i],
+                                      lastError, lastReason);
+                    emitOutcomeEvent(opts_, jobs[i], outcomes[i],
+                                     queue.firstDispatch(i));
+                }
+                queue.finish();
+            }
+            if (retired) {
+                // The rest of the window goes back unpenalized: these
+                // jobs did not exhaust anything, this endpoint did.
+                for (std::size_t i : pending)
+                    queue.release(i);
+                for (const auto &kv : inflight)
+                    queue.release(kv.second.job);
+                break;
+            }
+
+            // Top the window up — the credit refill. An endpoint with
+            // nothing at all blocks for work, probing its idle
+            // channel every heartbeatMs while it waits.
+            while (pending.size() + inflight.size()
+                   < static_cast<std::size_t>(window)) {
+                std::size_t i;
+                if (!queue.tryClaim(i))
+                    break;
+                pending.push_back(i);
+            }
+            if (pending.empty() && inflight.empty()) {
+                std::size_t i;
+                int waitMs =
+                    heartbeatMs > 0 && conn.valid() ? heartbeatMs : -1;
+                RemoteQueue::Wait got = queue.claimFor(i, waitMs);
+                if (got == RemoteQueue::Wait::Done)
+                    break;
+                if (got == RemoteQueue::Wait::Timeout) {
+                    // The idle-channel timer: nothing in flight and
+                    // no exchange for a full interval. A dead channel
+                    // found now costs nobody a job — just drop it and
+                    // reconnect when work arrives.
+                    if (!probe())
+                        conn.reset();
+                    continue;
+                }
+                pending.push_back(i);
+            }
+
+            // (Re)connect, with backoff once something has failed.
+            if (!conn.valid()) {
+                if (cycleFails > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(policy.backoffMs(
+                            std::min(cycleFails, policy.maxAttempts),
+                            rng)));
+                std::string err;
+                conn = net::connectTcp(hp.host, hp.port, err);
+                if (!conn.valid()) {
+                    lastError = err;
+                    lastReason = FailReason::ConnReset;
+                    ++cycleFails;
+                    chargeAll();
+                    continue;
+                }
+                reader.reset(conn.get());
+                connects.fetch_add(1);
+                if (everConnected)
+                    reconnects.fetch_add(1);
+                everConnected = true;
+                if (heartbeatMs > 0 && !probe()) {
+                    // A fresh connection proves it serves the
+                    // protocol loop before any job rides it.
+                    conn.reset();
+                    ++cycleFails;
+                    chargeAll();
+                    continue;
+                }
+            }
+
+            // Fill the wire: dispatch everything claimed, lowest job
+            // first (deterministic resend order after a teardown).
+            if (!pending.empty()) {
+                std::sort(pending.begin(), pending.end(),
+                          std::greater<std::size_t>());
+                bool wireOk = true;
+                while (!pending.empty() && wireOk) {
+                    std::size_t i = pending.back();
+                    if (++attempts[i] > 1)
+                        retries.fetch_add(1);
+                    std::string err;
+                    if (!net::writeLine(conn.get(), jobs[i].toJson(),
+                                        err)) {
+                        lastError = "daemon dropped before accepting "
+                                    "the job: "
+                                    + err;
+                        lastReason = FailReason::ConnReset;
+                        // The write-failing job itself paid above.
+                        teardown(/*refundHead=*/true);
+                        wireOk = false;
+                        break;
+                    }
+                    pending.pop_back();
+                    inflight[jobs[i].id] = {i, ExecClock::now(),
+                                            nextSeq++};
+                    int depth = static_cast<int>(inflight.size());
+                    int seen = maxInFlight.load();
+                    while (depth > seen
+                           && !maxInFlight.compare_exchange_weak(seen,
+                                                                 depth))
+                        ;
+                }
+                if (!wireOk)
+                    continue;
+            }
+            if (inflight.empty())
+                continue;
+
+            // Await one reply — bounded by the oldest in-flight job's
+            // deadline (each windowed job keeps its own dispatch
+            // stamp; the minimum is the first deadline to fire).
+            int remainingMs = -1;
+            if (deadlineMs >= 0) {
+                ExecClock::time_point oldest =
+                    ExecClock::time_point::max();
+                for (const auto &kv : inflight)
+                    oldest = std::min(oldest, kv.second.sent);
+                auto age =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        ExecClock::now() - oldest)
+                        .count();
+                remainingMs = deadlineMs - static_cast<int>(age);
+                if (remainingMs <= 0) {
                     timeouts.fetch_add(1);
                     lastError = "cell exceeded the "
                                 + std::to_string(deadlineMs)
                                 + "ms deadline";
                     lastReason = FailReason::Timeout;
-                    conn.reset();
+                    teardown(/*refundHead=*/false);
                     continue;
                 }
-                if (status != net::LineReader::Status::Line) {
-                    bool offProtocol =
-                        status == net::LineReader::Status::Error
-                        && reader.errorKind()
-                               == net::LineReader::ErrorKind::Oversized;
-                    lastError =
-                        status == net::LineReader::Status::Eof
-                            ? std::string("daemon dropped mid-job")
-                            : "framing error: " + err;
-                    lastReason = offProtocol
-                                     ? FailReason::FrameCorrupt
-                                     : FailReason::ConnReset;
-                    conn.reset();
-                    continue;
-                }
-                if (!CellOutcome::fromJson(reply, result, err)) {
-                    lastError = "malformed daemon reply: " + err;
-                    lastReason = FailReason::FrameCorrupt;
-                    conn.reset();
-                    continue;
-                }
-                if (result.id != jobs[i].id) {
-                    lastError = "daemon replied to job "
-                                + std::to_string(result.id)
-                                + " instead of "
-                                + std::to_string(jobs[i].id);
-                    lastReason = FailReason::FrameCorrupt;
-                    conn.reset();
-                    continue;
-                }
-                result.attempts = attempt;
-                lastExchange = ExecClock::now();
-                done = true;
             }
-
-            if (!done && queue.retireAndRequeue(i))
-                break; // another endpoint will resolve job i
-            if (done) {
-                outcomes[i] = std::move(result);
-            } else if (opts_.degrade == DegradeMode::Local) {
-                // Transport-dead everywhere, but the cell itself may
-                // be fine: park it for the in-process drain. No event
-                // yet — the drain emits the cell's real outcome.
-                {
-                    std::lock_guard<std::mutex> lock(degradeMutex);
-                    degraded.push_back(i);
-                }
-                queue.finish();
+            std::string reply, err;
+            net::LineReader::Status status =
+                reader.readLine(reply, err, remainingMs);
+            if (status == net::LineReader::Status::Timeout) {
+                // The oldest windowed job blew its deadline. A late
+                // reply would be unattributable after teardown, so the
+                // connection goes too — every in-flight job re-queues
+                // and pays its next attempt on redispatch.
+                timeouts.fetch_add(1);
+                lastError = "cell exceeded the "
+                            + std::to_string(deadlineMs)
+                            + "ms deadline";
+                lastReason = FailReason::Timeout;
+                teardown(/*refundHead=*/false);
                 continue;
-            } else {
-                fillFailedOutcome(outcomes[i], jobs[i],
-                                  " via " + endpoint, attempt - 1,
-                                  lastError, lastReason);
             }
+            if (status != net::LineReader::Status::Line) {
+                bool offProtocol =
+                    status == net::LineReader::Status::Error
+                    && reader.errorKind()
+                           == net::LineReader::ErrorKind::Oversized;
+                lastError =
+                    status == net::LineReader::Status::Eof
+                        ? std::string("daemon dropped mid-job")
+                        : "framing error: " + err;
+                lastReason = offProtocol ? FailReason::FrameCorrupt
+                                         : FailReason::ConnReset;
+                teardown(/*refundHead=*/false);
+                continue;
+            }
+            CellOutcome result;
+            if (!CellOutcome::fromJson(reply, result, err)) {
+                lastError = "malformed daemon reply: " + err;
+                lastReason = FailReason::FrameCorrupt;
+                teardown(/*refundHead=*/false);
+                continue;
+            }
+            auto it = inflight.find(result.id);
+            if (it == inflight.end()) {
+                // id 0 is the daemon's corrupted-frame sentinel: one
+                // of our frames arrived mangled and we cannot know
+                // which. Any other unknown id is a daemon bug. Either
+                // way the stream is off-protocol — tear down and
+                // redispatch the whole window.
+                lastError =
+                    result.id == 0
+                        ? std::string("daemon flagged a corrupted "
+                                      "job frame")
+                        : "daemon replied to unknown job "
+                              + std::to_string(result.id);
+                lastReason = FailReason::FrameCorrupt;
+                teardown(/*refundHead=*/false);
+                continue;
+            }
+            std::size_t i = it->second.job;
+            inflight.erase(it);
+            cycleFails = 0;
+            result.attempts = attempts[i];
+            outcomes[i] = std::move(result);
             emitOutcomeEvent(opts_, jobs[i], outcomes[i],
                              queue.firstDispatch(i));
+            perEndpoint[index] += 1;
             queue.finish();
         }
         // Closing the connection tells the daemon this stream is done.
@@ -1165,6 +1382,11 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
     stats_.reconnects += reconnects.load();
     stats_.retries += retries.load();
     stats_.timeouts += timeouts.load();
+    stats_.maxInFlight = std::max(stats_.maxInFlight, maxInFlight.load());
+    if (stats_.jobsPerEndpoint.size() < perEndpoint.size())
+        stats_.jobsPerEndpoint.resize(perEndpoint.size(), 0);
+    for (std::size_t e = 0; e < perEndpoint.size(); ++e)
+        stats_.jobsPerEndpoint[e] += perEndpoint[e];
 
     if (!degraded.empty()) {
         // Graceful degradation: every endpoint is gone, the grid is
@@ -1268,8 +1490,12 @@ daemonSignalHandler(int sig)
 } // namespace
 
 int
-cellDaemonMain(std::uint16_t port)
+cellDaemonMain(std::uint16_t port, int workers)
 {
+    if (workers <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        workers = hw == 0 ? 1 : static_cast<int>(hw);
+    }
     // Block the shutdown signals first and install the flag-setting
     // handlers, so the sigsuspend wait below is race-free and every
     // server thread (which inherits the blocked mask) routes delivery
@@ -1291,6 +1517,12 @@ cellDaemonMain(std::uint16_t port)
 
     std::atomic<std::uint64_t> served{0};
     net::Server server;
+    // Pipelined serving: each connection gets a bounded frame queue
+    // and `workers` handler threads, so a windowing client's cells
+    // compute concurrently and reply as they complete (out of request
+    // order — the protocol's ids make that safe). workers == 1 is the
+    // historical strict request/reply loop.
+    server.setWorkersPerConnection(workers);
     std::string error;
     bool ok = server.start(
         port,
@@ -1303,9 +1535,11 @@ cellDaemonMain(std::uint16_t port)
         fatal("--serve %u: %s", static_cast<unsigned>(port),
               error.c_str());
 
-    inform("cell daemon listening on port %u (pid %ld)",
+    inform("cell daemon listening on port %u (pid %ld, %d worker%s "
+           "per connection)",
            static_cast<unsigned>(server.port()),
-           static_cast<long>(getpid()));
+           static_cast<long>(getpid()), workers,
+           workers == 1 ? "" : "s");
     while (g_daemonSignal == 0)
         sigsuspend(&old);
     int sig = g_daemonSignal;

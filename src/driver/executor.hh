@@ -25,13 +25,20 @@
  *    number of times; a job that keeps killing its worker fails
  *    cleanly in its outcome instead of sinking the grid.
  *  - RemoteExecutor: the same NDJSON lines over TCP (src/net) to a
- *    set of `--serve` worker daemons, one connection per endpoint.
- *    The respawn discipline becomes a reconnect discipline: a dropped
- *    connection re-queues the in-flight job, reconnects with backoff
- *    (which also rides out a daemon restart), and an endpoint that
- *    exhausts a job's retry budget hands the job back to the shared
- *    queue and retires — the surviving endpoints absorb its load, and
- *    only when every endpoint is gone do jobs fail in their outcomes.
+ *    set of `--serve` worker daemons, one connection per endpoint —
+ *    *pipelined*: each connection windows up to ExecOptions.window
+ *    jobs in flight (the wire frames carry per-job ids, so replies
+ *    complete out of order against an in-flight map). Work assignment
+ *    is credit-based: a completion frees a window slot and the
+ *    endpoint immediately claims the next job off the shared queue,
+ *    so a fast daemon drains more of the grid than a slow one with no
+ *    static partitioning. The respawn discipline becomes a reconnect
+ *    discipline: a teardown re-queues *every* windowed in-flight job
+ *    (each is charged one attempt), reconnects with backoff (which
+ *    also rides out a daemon restart), and an endpoint that exhausts
+ *    a job's retry budget hands the job back to the shared queue and
+ *    retires — the surviving endpoints absorb its load, and only when
+ *    every endpoint is gone do jobs fail in their outcomes.
  *
  * Every cell is a deterministic pure function of its job, so all
  * backends produce bit-identical grids for every jobs/endpoint count
@@ -140,14 +147,28 @@ struct ExecOptions
      */
     int cellTimeoutMs = -1;
     /**
-     * Tcp: heartbeat interval. A {"event":"ping"} probe goes out on
-     * fresh connections and connections idle longer than this, and
-     * the daemon must pong within the same bound — a silent (accepted
-     * but wedged) daemon is detected in bounded time instead of
-     * swallowing a job for its full deadline. < 0 is the backend
-     * default (5000 for Tcp); 0 disables.
+     * Tcp: heartbeat interval — an *idle-channel* timer. A
+     * {"event":"ping"} probe goes out on fresh connections and on
+     * connections that have sat idle (no job in flight, no exchange)
+     * for this long while the endpoint waits for work, and the daemon
+     * must pong within the same bound — a silent (accepted but
+     * wedged) daemon is detected in bounded time instead of
+     * swallowing a job for its full deadline. A connection with jobs
+     * in flight is never pinged: the replies themselves prove
+     * liveness, and the per-job deadline bounds their silence. < 0 is
+     * the backend default (5000 for Tcp); 0 disables.
      */
     int heartbeatMs = -1;
+    /**
+     * Tcp: jobs windowed per connection (the drivers' --window). The
+     * client keeps up to this many jobs in flight on each connection,
+     * matching replies by id; 1 is strict lockstep (one request, one
+     * reply — bit-identical outcomes either way, cells are pure).
+     * < 0 is the backend default (4 for Tcp). Higher windows hide
+     * link round trips; see src/net/PROTOCOL.md and the README note
+     * on picking a value.
+     */
+    int window = -1;
     /** Tcp: what happens when every endpoint permanently fails. */
     DegradeMode degrade = DegradeMode::Fail;
     /** Fires once per job with its final outcome; see CellEventFn. */
@@ -262,9 +283,14 @@ class RemoteExecutor : public Executor
     {
         int connects = 0;   ///< connections established (initial + re)
         int reconnects = 0; ///< connections re-established after a drop
-        int retries = 0;    ///< jobs re-sent after a drop/connect fail
+        int retries = 0;    ///< job attempts charged beyond the first
         int timeouts = 0;   ///< deadline/heartbeat expiries observed
         int degradedLocal = 0; ///< jobs drained in-process (--degrade)
+        int maxInFlight = 0;   ///< peak windowed jobs on one connection
+        /** Final outcomes each endpoint produced, by endpoint index —
+         *  how credit-based assignment shows: a fast daemon's entry
+         *  dwarfs a slow one's. */
+        std::vector<int> jobsPerEndpoint;
     };
 
     /** Fatal on an empty or malformed ExecOptions.endpoints list. */
@@ -293,10 +319,12 @@ int cellWorkerMain(std::FILE *in, std::FILE *out, int exitAfter = -1);
 
 /**
  * The heartbeat probe frames. A client sends kCellPingLine on a fresh
- * or idle connection; every executing side (handleCellLine, so the
- * daemon, the --cell-worker loop, and in-process test daemons alike)
- * answers kCellPongLine immediately — proof the peer is not merely
- * accepting bytes but actually serving its protocol loop.
+ * connection or one that has sat idle with nothing in flight; every
+ * executing side (handleCellLine, so the daemon, the --cell-worker
+ * loop, and in-process test daemons alike) answers kCellPongLine —
+ * proof the peer is not merely accepting bytes but actually serving
+ * its protocol loop. Connections with jobs in flight are never
+ * pinged (see ExecOptions.heartbeatMs).
  */
 extern const char *const kCellPingLine;
 extern const char *const kCellPongLine;
@@ -312,13 +340,17 @@ std::string handleCellLine(const std::string &line);
 
 /**
  * The --serve CLI mode: a worker daemon answering CellJob lines with
- * CellOutcome lines over TCP (thread per connection, any number of
- * drivers). Blocks until SIGINT/SIGTERM, then stops accepting, drops
+ * CellOutcome lines over TCP (any number of drivers). Each connection
+ * is served by @p workers handler threads fed from a bounded frame
+ * queue, replying as cells complete — out of request order, which the
+ * pipelined client resolves by id (workers <= 0 defaults to the
+ * hardware thread count; 1 is the historical strict request/reply
+ * loop). Blocks until SIGINT/SIGTERM, then stops accepting, drops
  * every connection, joins all threads, logs a final line, and returns
  * 0 — the graceful-shutdown contract the CI loopback job asserts.
  * @p port 0 picks an ephemeral port (logged on startup).
  */
-int cellDaemonMain(std::uint16_t port);
+int cellDaemonMain(std::uint16_t port, int workers = 0);
 
 /**
  * The --stream sink: one NDJSON event per completed cell, written as

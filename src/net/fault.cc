@@ -123,6 +123,29 @@ FaultSpec::parse(const std::string &text, FaultSpec &out,
             continue;
         }
 
+        if (clause.rfind("latency=", 0) == 0) {
+            // latency=<ms>ms — fixed, probability-free, per write.
+            std::string value = clause.substr(8);
+            if (value.size() < 3
+                || value.compare(value.size() - 2, 2, "ms") != 0) {
+                error = "fault clause '" + clause
+                        + "': expected latency=<ms>ms";
+                return false;
+            }
+            std::string msText = value.substr(0, value.size() - 2);
+            errno = 0;
+            char *end = nullptr;
+            long v = std::strtol(msText.c_str(), &end, 10);
+            if (msText.empty() || errno != 0 || *end != '\0' || v < 1
+                || v > 600000) {
+                error = "fault clause '" + clause
+                        + "': latency out of [1, 600000]ms";
+                return false;
+            }
+            spec.latencyMs = static_cast<int>(v);
+            continue;
+        }
+
         std::size_t at = clause.find('@');
         if (at != std::string::npos) {
             std::string name = clause.substr(0, at);
@@ -144,8 +167,8 @@ FaultSpec::parse(const std::string &text, FaultSpec &out,
         }
 
         error = "unrecognized fault clause '" + clause + "' (expected "
-                "seed=<u64>, delay=<min>..<max>ms@<p>, or "
-                "<drop|corrupt|stall|reset>@<p>)";
+                "seed=<u64>, delay=<min>..<max>ms@<p>, latency=<ms>ms, "
+                "or <drop|corrupt|stall|reset>@<p>)";
         return false;
     }
     out = spec;
@@ -172,6 +195,8 @@ FaultSpec::summary() const
         text += ",stall@" + prob(stallProb);
     if (resetProb > 0)
         text += ",reset@" + prob(resetProb);
+    if (latencyMs > 0)
+        text += ",latency=" + std::to_string(latencyMs) + "ms";
     return text;
 }
 
@@ -180,6 +205,12 @@ FaultPlan::next(FaultOp op)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     FaultAction action;
+    // The fixed link latency is not a fault decision: it applies to
+    // every write, consumes no RNG draws (the probabilistic sequence
+    // stays a pure function of the seed with or without it), and
+    // composes with whatever action is drawn below.
+    if (op == FaultOp::Write)
+        action.latencyMs = spec_.latencyMs;
     // Fixed draw order keeps the sequence a pure function of the seed:
     // severity-major so a high-reset spec is not masked by delays.
     if (rng_.chance(spec_.resetProb)) {
@@ -332,6 +363,10 @@ FaultyStream::writeAll(const char *data, std::size_t n,
     FaultAction action;
     if (plan_ != nullptr)
         action = plan_->next(FaultOp::Write);
+
+    // Simulated link latency: every frame pays it before any fault
+    // semantics apply (even a dropped frame "travelled" first).
+    sleepMs(action.latencyMs);
 
     std::size_t limit = n;
     switch (action.kind) {

@@ -6,6 +6,13 @@
  *
  *   seed=7,delay=0..50ms@0.2,drop@0.05,corrupt@0.02,stall@0.01,reset@0.02
  *
+ * plus one non-probabilistic clause, `latency=<ms>ms`: a fixed
+ * per-frame latency applied to *every* write, deterministically and
+ * without touching the RNG stream — a simulated high-RTT link (each
+ * direction pays the latency once per frame, so a request/reply round
+ * trip costs 2x). The windowed-vs-lockstep throughput tests are built
+ * on it: pure latency never corrupts, drops, or reorders.
+ *
  * and compiled into a FaultPlan: a seeded (SplitMix64) source of
  * per-operation fault decisions. Every LineReader::readLine and
  * writeLine consults the process-global plan (when one is installed,
@@ -65,11 +72,15 @@ struct FaultSpec
     double corruptProb = 0;
     double stallProb = 0;
     double resetProb = 0;
+    /** Fixed per-frame write latency (a simulated link RTT/2); 0 off.
+     *  Deterministic: applied to every write without an RNG draw. */
+    int latencyMs = 0;
 
     /**
      * Parse the spec grammar: comma-separated clauses `seed=<u64>`,
-     * `delay=<min>..<max>ms@<p>`, and `<drop|corrupt|stall|reset>@<p>`.
-     * False sets @p error and leaves @p out unspecified.
+     * `delay=<min>..<max>ms@<p>`, `latency=<ms>ms`, and
+     * `<drop|corrupt|stall|reset>@<p>`. False sets @p error and
+     * leaves @p out unspecified.
      */
     static bool parse(const std::string &text, FaultSpec &out,
                       std::string &error);
@@ -91,7 +102,8 @@ struct FaultAction
         Reset,
     };
     Kind kind = Kind::None;
-    int delayMs = 0;       ///< Delay: how long to sleep
+    int delayMs = 0;        ///< Delay: how long to sleep
+    int latencyMs = 0;      ///< Fixed link latency (writes; any kind)
     std::uint64_t salt = 0; ///< Corrupt: positions the smashed byte
 };
 

@@ -1,5 +1,8 @@
 #include "net/server.hh"
 
+#include <condition_variable>
+#include <deque>
+
 #include <sys/socket.h>
 
 #include "common/logging.hh"
@@ -57,6 +60,10 @@ Server::acceptLoop()
 void
 Server::serveConn(Conn *conn)
 {
+    if (workersPerConn_ > 1) {
+        serveConnPipelined(conn);
+        return;
+    }
     LineReader reader(conn->fd.get());
     const int deadlineMs = idleReadDeadlineMs_ > 0 ? idleReadDeadlineMs_
                                                    : -1;
@@ -87,6 +94,104 @@ Server::serveConn(Conn *conn)
     // shutdown sweep can never touch a recycled descriptor — rather
     // than holding it until the next accept reaps us; an idle daemon
     // must not sit on a finished suite's worth of sockets.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ::shutdown(conn->fd.get(), SHUT_RDWR);
+    conn->fd.reset();
+    conn->done.store(true);
+}
+
+void
+Server::serveConnPipelined(Conn *conn)
+{
+    // The connection thread stays the reader; a small worker pool
+    // drains a bounded frame queue and writes replies as handlers
+    // complete. Replies leave in completion order, not request order
+    // — the cell protocol correlates by id — and the queue bound is
+    // the backpressure that keeps a fast client in the kernel's
+    // socket buffer instead of daemon memory.
+    const std::size_t depth = queueDepth_ > 0
+                                  ? static_cast<std::size_t>(queueDepth_)
+                                  : static_cast<std::size_t>(
+                                        2 * workersPerConn_);
+    std::mutex qMutex;
+    std::condition_variable notEmpty, notFull;
+    std::deque<std::string> queue;
+    bool readerDone = false;
+    // A declining handler or a failed reply write poisons the
+    // connection: the socket is shut down (the reader wakes with EOF,
+    // the client's retry discipline takes over) and the remaining
+    // queued frames are drained unanswered.
+    bool broken = false;
+    std::mutex writeMutex;
+
+    auto workerBody = [&]() {
+        std::string frame, error;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(qMutex);
+                notEmpty.wait(lock, [&]() {
+                    return !queue.empty() || readerDone;
+                });
+                if (queue.empty())
+                    break;
+                frame = std::move(queue.front());
+                queue.pop_front();
+                notFull.notify_one();
+                if (broken)
+                    continue; // drain without serving
+            }
+            std::optional<std::string> reply = handler_(frame);
+            bool ok = reply.has_value();
+            if (ok) {
+                std::lock_guard<std::mutex> lock(writeMutex);
+                ok = writeLine(conn->fd.get(), *reply, error);
+            }
+            if (!ok) {
+                std::lock_guard<std::mutex> lock(qMutex);
+                if (!broken) {
+                    broken = true;
+                    ::shutdown(conn->fd.get(), SHUT_RDWR);
+                    notFull.notify_all(); // reader may be backpressured
+                }
+            }
+        }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(workersPerConn_));
+    for (int w = 0; w < workersPerConn_; ++w)
+        workers.emplace_back(workerBody);
+
+    LineReader reader(conn->fd.get());
+    const int deadlineMs = idleReadDeadlineMs_ > 0 ? idleReadDeadlineMs_
+                                                   : -1;
+    std::string line, error;
+    for (;;) {
+        LineReader::Status status =
+            reader.readLine(line, error, deadlineMs);
+        if (status == LineReader::Status::Timeout) {
+            if (stopping_.load())
+                break;
+            continue;
+        }
+        if (status != LineReader::Status::Line)
+            break;
+        std::unique_lock<std::mutex> lock(qMutex);
+        notFull.wait(lock, [&]() {
+            return queue.size() < depth || broken;
+        });
+        if (broken)
+            break;
+        queue.push_back(std::move(line));
+        notEmpty.notify_one();
+    }
+    {
+        std::lock_guard<std::mutex> lock(qMutex);
+        readerDone = true;
+        notEmpty.notify_all();
+    }
+    for (auto &w : workers)
+        w.join();
+
     std::lock_guard<std::mutex> lock(mutex_);
     ::shutdown(conn->fd.get(), SHUT_RDWR);
     conn->fd.reset();

@@ -14,6 +14,17 @@
  * running, which is what makes SIGINT-driven daemon shutdown clean
  * (the signal handler only sets a flag; teardown happens on the
  * normal path).
+ *
+ * Pipelined mode (setWorkersPerConnection > 1): each connection
+ * additionally gets a small worker pool fed from a bounded
+ * per-connection frame queue. The connection thread keeps reading —
+ * so a client may have several frames in flight — while workers run
+ * the handler and write replies *as they complete*, not in request
+ * order (writes are serialized per connection; ordering across frames
+ * is the client's problem, which the cell protocol solves with ids).
+ * The queue bound is the backpressure: a client that outruns the
+ * workers blocks in the kernel's socket buffer, never in daemon
+ * memory. See src/net/PROTOCOL.md for the windowing rules.
  */
 
 #ifndef L0VLIW_NET_SERVER_HH
@@ -69,6 +80,20 @@ class Server
      */
     void setIdleReadDeadlineMs(int ms) { idleReadDeadlineMs_ = ms; }
 
+    /**
+     * Serve each connection with @p workers handler threads fed from
+     * a bounded queue of @p queueDepth frames (<= 0 picks 2x workers),
+     * replying as handlers complete — out of request order. The
+     * default (1) keeps the strict serial read→handle→reply loop;
+     * protocols whose replies carry no correlation id (the store's
+     * ack stream) must stay there. Call before start().
+     */
+    void setWorkersPerConnection(int workers, int queueDepth = 0)
+    {
+        workersPerConn_ = workers < 1 ? 1 : workers;
+        queueDepth_ = queueDepth;
+    }
+
     /** The bound port (valid after a successful start). */
     std::uint16_t port() const { return port_; }
 
@@ -90,12 +115,15 @@ class Server
 
     void acceptLoop();
     void serveConn(Conn *conn);
+    void serveConnPipelined(Conn *conn);
     /** Join and drop connections whose threads already finished. */
     void reapFinished();
 
     Handler handler_;
     Fd listen_;
     int idleReadDeadlineMs_ = 1000;
+    int workersPerConn_ = 1;
+    int queueDepth_ = 0;
     std::uint16_t port_ = 0;
     std::thread acceptThread_;
     std::mutex mutex_; ///< guards conns_

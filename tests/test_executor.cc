@@ -468,20 +468,33 @@ namespace
 struct LoopbackDaemon
 {
     net::Server server;
-    std::atomic<int> served{0};
+    std::atomic<int> served{0}; ///< job lines (pings not counted)
+    std::atomic<int> pings{0};
 
     /** @p dropEvery > 0 closes the connection instead of replying to
-     *  every dropEvery-th request — a daemon dying mid-job. */
-    explicit LoopbackDaemon(int dropEvery = 0)
+     *  every dropEvery-th request — a daemon dying mid-job. @p workers
+     *  > 1 serves each connection through the pipelined worker pool;
+     *  @p serveDelayMs slows every job line down — a weak machine. */
+    explicit LoopbackDaemon(int dropEvery = 0, int workers = 1,
+                            int serveDelayMs = 0)
     {
         std::string error;
+        if (workers > 1)
+            server.setWorkersPerConnection(workers);
         bool ok = server.start(
             0,
-            [this, dropEvery](
+            [this, dropEvery, serveDelayMs](
                 const std::string &line) -> std::optional<std::string> {
+                if (line == driver::kCellPingLine) {
+                    pings.fetch_add(1);
+                    return driver::handleCellLine(line);
+                }
                 int n = served.fetch_add(1) + 1;
                 if (dropEvery > 0 && n % dropEvery == 0)
                     return std::nullopt;
+                if (serveDelayMs > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(serveDelayMs));
                 return driver::handleCellLine(line);
             },
             error);
@@ -571,6 +584,224 @@ TEST(RemoteExecutor, ReconnectsWhenDaemonDropsMidJob)
     }
     EXPECT_GT(exec.stats().reconnects, 0);
     EXPECT_GT(exec.stats().retries, 0);
+}
+
+// ---- the pipelined window ----
+
+TEST(RemoteExecutor, BitIdenticalAcrossWindowSizes)
+{
+    // The whole point of windowing: it changes how many round trips
+    // overlap, never the results. Every registered ArchSpec crosses a
+    // 2-worker pipelined daemon (replies may come back out of order)
+    // at windows 1, 4, and 16 — each grid must match the in-process
+    // reference bit for bit, and window=1 must reproduce the strict
+    // lockstep exchange.
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"gsmdec"};
+    spec.archs = driver::archRegistry().names();
+    for (std::size_t a = 0; a < spec.archs.size(); ++a)
+        spec.columns.push_back(driver::normalizedColumn(
+            spec.archs[a], static_cast<int>(a)));
+    driver::Suite suite(std::move(spec));
+
+    ExecOptions inproc;
+    inproc.jobs = 1;
+    driver::ResultGrid serial = suite.run(inproc);
+
+    LoopbackDaemon daemon(/*dropEvery=*/0, /*workers=*/2);
+    for (int window : {1, 4, 16}) {
+        ExecOptions opts = tcpOpts({daemon.endpoint()});
+        opts.window = window;
+        driver::ResultGrid remote = suite.run(opts);
+        ASSERT_EQ(serial.numBenches(), remote.numBenches());
+        ASSERT_EQ(serial.numArchs(), remote.numArchs());
+        for (std::size_t b = 0; b < serial.numBenches(); ++b)
+            for (std::size_t a = 0; a < serial.numArchs(); ++a) {
+                expectRunsEqual(serial.cell(b, a).run,
+                                remote.cell(b, a).run);
+                EXPECT_EQ(serial.cell(b, a).normalized,
+                          remote.cell(b, a).normalized)
+                    << "window " << window;
+            }
+        EXPECT_EQ(renderText(serial.render()),
+                  renderText(remote.render()))
+            << "window " << window;
+        EXPECT_EQ(renderJson(serial.render()),
+                  renderJson(remote.render()))
+            << "window " << window;
+    }
+}
+
+TEST(RemoteExecutor, MidWindowTeardownRequeuesEveryInFlightJob)
+{
+    // Eight jobs on the wire when the daemon hangs up after serving
+    // two: all six in-flight ids must re-queue onto the fresh
+    // connection and complete — and exactly one of them (the head of
+    // the line, the job the daemon was serving when the stream died)
+    // pays the retry. The five windowed behind it were never looked
+    // at, so charging them would burn whole budgets per teardown.
+    net::Server server;
+    std::atomic<int> served{0};
+    std::string error;
+    ASSERT_TRUE(server.start(
+        0,
+        [&served](
+            const std::string &line) -> std::optional<std::string> {
+            if (line == driver::kCellPingLine)
+                return driver::handleCellLine(line);
+            if (served.fetch_add(1) + 1 == 3)
+                return std::nullopt; // die serving the third job
+            return driver::handleCellLine(line);
+        },
+        error))
+        << error;
+
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(
+            makeJob(i + 1, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    ExecOptions opts =
+        tcpOpts({"127.0.0.1:" + std::to_string(server.port())});
+    opts.window = 16; // the whole grid rides one window
+    driver::RemoteExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    int retried = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        EXPECT_EQ(outcomes[i].id, jobs[i].id);
+        EXPECT_GE(outcomes[i].attempts, 1);
+        retried += outcomes[i].attempts > 1 ? 1 : 0;
+    }
+    EXPECT_EQ(retried, 1) << "only the head of the line pays";
+    EXPECT_EQ(exec.stats().retries, 1);
+    EXPECT_EQ(exec.stats().reconnects, 1);
+    EXPECT_GE(exec.stats().maxInFlight, 6);
+}
+
+TEST(RemoteExecutor, WindowedBeatsLockstepOnAHighLatencyLink)
+{
+    // A simulated WAN: every write frame pays a fixed 25ms before it
+    // moves (both directions — the fault plan is global). Lockstep
+    // pays the full round trip per job; the windowed pipeline keeps
+    // frames moving in both directions at once. Same daemon, same
+    // jobs: the speedup must be structural, the results identical.
+    net::FaultSpec wan;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse("seed=1,latency=25ms", wan, err))
+        << err;
+
+    LoopbackDaemon daemon;
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(
+            makeJob(i + 1, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    auto timedRun = [&](int window, double &elapsedMs,
+                        int &maxInFlight) {
+        net::ScopedFaultPlan plan(wan);
+        ExecOptions opts = tcpOpts({daemon.endpoint()});
+        opts.window = window;
+        driver::RemoteExecutor exec(opts);
+        auto start = std::chrono::steady_clock::now();
+        std::vector<CellOutcome> outcomes = exec.execute(jobs);
+        elapsedMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        maxInFlight = exec.stats().maxInFlight;
+        return outcomes;
+    };
+
+    double lockstepMs = 0, windowedMs = 0;
+    int lockstepDepth = 0, windowedDepth = 0;
+    std::vector<CellOutcome> lockstep =
+        timedRun(1, lockstepMs, lockstepDepth);
+    std::vector<CellOutcome> windowed =
+        timedRun(8, windowedMs, windowedDepth);
+
+    ASSERT_EQ(lockstep.size(), jobs.size());
+    ASSERT_EQ(windowed.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(lockstep[i].ok) << lockstep[i].error;
+        ASSERT_TRUE(windowed[i].ok) << windowed[i].error;
+        expectRunsEqual(lockstep[i].run, windowed[i].run);
+    }
+    EXPECT_EQ(lockstepDepth, 1);
+    EXPECT_GE(windowedDepth, 4);
+    // 8 jobs × 50ms RTT lockstep vs one overlapped stream: the
+    // pipeline must win by a structural margin, not measurement noise.
+    EXPECT_LT(windowedMs, 0.75 * lockstepMs)
+        << "windowed " << windowedMs << "ms vs lockstep " << lockstepMs
+        << "ms";
+}
+
+TEST(RemoteExecutor, CreditSchedulingFollowsDaemonThroughput)
+{
+    // One fast daemon, one 40ms-per-cell straggler, no static
+    // partition: each endpoint claims only as its window drains, so
+    // the fast daemon must end up with the bulk of the grid — the
+    // observed-throughput scheduler in action.
+    LoopbackDaemon fast;
+    LoopbackDaemon slow(/*dropEvery=*/0, /*workers=*/1,
+                        /*serveDelayMs=*/40);
+
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 12; ++i)
+        jobs.push_back(
+            makeJob(i + 1, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    ExecOptions opts = tcpOpts({fast.endpoint(), slow.endpoint()});
+    opts.window = 2;
+    driver::RemoteExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    ASSERT_EQ(exec.stats().jobsPerEndpoint.size(), 2u);
+    int onFast = exec.stats().jobsPerEndpoint[0];
+    int onSlow = exec.stats().jobsPerEndpoint[1];
+    EXPECT_EQ(onFast + onSlow, 12);
+    EXPECT_GT(onFast, onSlow)
+        << "fast " << onFast << " vs slow " << onSlow;
+}
+
+TEST(RemoteExecutor, OnlyIdleChannelsAreHeartbeatProbed)
+{
+    // Three jobs, a fast and a 150ms-per-cell slow daemon, 40ms
+    // heartbeat. The slow channel spends its whole life with a job in
+    // flight — it must see exactly the one fresh-connection probe,
+    // never a mid-job ping (the reply itself proves liveness). The
+    // fast channel drains the rest of the queue and then idles while
+    // the straggler finishes — the idle-channel timer must probe it.
+    LoopbackDaemon fast;
+    LoopbackDaemon slow(/*dropEvery=*/0, /*workers=*/1,
+                        /*serveDelayMs=*/150);
+
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 3; ++i)
+        jobs.push_back(
+            makeJob(i + 1, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    ExecOptions opts = tcpOpts({fast.endpoint(), slow.endpoint()});
+    opts.window = 1;
+    opts.heartbeatMs = 40;
+    driver::RemoteExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_EQ(slow.pings.load(), 1)
+        << "a channel with a job in flight needs no ping";
+    EXPECT_GE(fast.pings.load(), 2)
+        << "the idle channel should have been probed on the timer";
 }
 
 TEST(RemoteExecutor, SurvivesDaemonRestartMidSuite)
@@ -1193,8 +1424,9 @@ TEST(ChaosSoak, TwentySeedsBitIdenticalOrDiagnosedNeverHung)
         << specError;
 
     // One daemon shared across every seed (its reads/writes go
-    // through the same global plan, so faults are bidirectional).
-    LoopbackDaemon daemon;
+    // through the same global plan, so faults are bidirectional) —
+    // pipelined, so worker replies interleave under fire too.
+    LoopbackDaemon daemon(/*dropEvery=*/0, /*workers=*/2);
 
     for (std::uint64_t seed = 1; seed <= 20; ++seed) {
         spec.seed = seed;
@@ -1205,6 +1437,11 @@ TEST(ChaosSoak, TwentySeedsBitIdenticalOrDiagnosedNeverHung)
             ExecOptions opts =
                 tcpOpts({daemon.endpoint(), daemon.endpoint()},
                         /*maxRetries=*/4);
+            // A full window in flight on every stream: any teardown
+            // must re-queue or diagnose every windowed id — the
+            // per-seed checks below catch a lost one as a missing
+            // outcome.
+            opts.window = 4;
             opts.retryBackoffMs = 2;
             opts.maxBackoffMs = 20;
             opts.cellTimeoutMs = 300;

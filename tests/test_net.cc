@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -389,6 +390,58 @@ TEST(FaultPlan, SameSeedSameActionSequence)
     EXPECT_TRUE(sawFault) << "a ~70% fault spec produced 200 clean ops";
 }
 
+TEST(FaultSpec, LatencyClauseIsFixedAndProbabilityFree)
+{
+    // latency= models link RTT, not flakiness: every write pays it,
+    // no probability, no RNG draw — so adding it to a seeded spec
+    // must not perturb the fault sequence the seed already bought.
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse("seed=9,latency=25ms", spec, err))
+        << err;
+    EXPECT_EQ(spec.latencyMs, 25);
+    net::FaultSpec again;
+    ASSERT_TRUE(net::FaultSpec::parse(spec.summary(), again, err))
+        << spec.summary() << ": " << err;
+    EXPECT_EQ(again.summary(), spec.summary());
+
+    net::FaultPlan plan(spec);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(plan.next(net::FaultOp::Write).latencyMs, 25);
+        EXPECT_EQ(plan.next(net::FaultOp::Read).latencyMs, 0)
+            << "reads never pay write latency";
+    }
+
+    for (const char *bad :
+         {"latency=", "latency=ms", "latency=0ms", "latency=-5ms",
+          "latency=5", "latency=999999999ms"}) {
+        net::FaultSpec rejected;
+        EXPECT_FALSE(net::FaultSpec::parse(bad, rejected, err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(FaultInject, LatencyDelaysEveryWriteFrame)
+{
+    net::FaultSpec spec;
+    std::string err;
+    ASSERT_TRUE(net::FaultSpec::parse("seed=1,latency=30ms", spec, err))
+        << err;
+    auto [a, b] = makeSocketPair();
+    net::ScopedFaultPlan plan(spec);
+    auto start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(net::writeLine(a.get(), "over-the-wan", err)) << err;
+    LineReader reader(b.get());
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, err, 2000), LineReader::Status::Line)
+        << err;
+    auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    EXPECT_EQ(line, "over-the-wan");
+    EXPECT_GE(waited, 25) << "the frame should have paid the link";
+}
+
 TEST(FaultInject, DroppedWriteReportsSuccessAndPeerTimesOut)
 {
     net::FaultSpec spec;
@@ -702,6 +755,125 @@ TEST(Server, StopUnblocksAndIsIdempotent)
         },
         err))
         << err;
+}
+
+// ---- the pipelined per-connection worker pool ----
+
+TEST(Server, PipelinedWorkersReplyOutOfOrder)
+{
+    // Two workers per connection: a slow request dispatched first
+    // must not serialize the fast one queued behind it — replies come
+    // back in completion order, which is the contract that lets the
+    // cell protocol window jobs (frames carry ids, order carries
+    // nothing).
+    net::Server server;
+    server.setWorkersPerConnection(2);
+    std::string err;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line) {
+            if (line == "slow")
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(120));
+            return std::optional<std::string>("done:" + line);
+        },
+        err))
+        << err;
+
+    Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    ASSERT_TRUE(net::writeLine(conn.get(), "slow", err)) << err;
+    ASSERT_TRUE(net::writeLine(conn.get(), "fast", err)) << err;
+    LineReader reader(conn.get());
+    std::string first, second;
+    ASSERT_EQ(reader.readLine(first, err, 5000),
+              LineReader::Status::Line)
+        << err;
+    ASSERT_EQ(reader.readLine(second, err, 5000),
+              LineReader::Status::Line)
+        << err;
+    EXPECT_EQ(first, "done:fast");
+    EXPECT_EQ(second, "done:slow");
+}
+
+TEST(Server, PipelinedBurstIsAnsweredCompletely)
+{
+    // 64 requests written before a single reply is read: the bounded
+    // queue backpressures the connection reader instead of buffering
+    // without limit, and every request is answered exactly once.
+    net::Server server;
+    server.setWorkersPerConnection(3);
+    std::string err;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line) {
+            return std::optional<std::string>(line);
+        },
+        err))
+        << err;
+
+    Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    std::vector<int> counts(64, 0);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_TRUE(
+            net::writeLine(conn.get(), std::to_string(i), err))
+            << err;
+    LineReader reader(conn.get());
+    for (int i = 0; i < 64; ++i) {
+        std::string reply;
+        ASSERT_EQ(reader.readLine(reply, err, 5000),
+                  LineReader::Status::Line)
+            << err;
+        int n = std::atoi(reply.c_str());
+        ASSERT_GE(n, 0);
+        ASSERT_LT(n, 64);
+        counts[static_cast<std::size_t>(n)] += 1;
+    }
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(counts[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(Server, PipelinedNulloptPoisonsTheConnectionNotTheServer)
+{
+    // One worker voting to hang up closes the whole connection (the
+    // serial contract, kept), but the accept loop lives on: a fresh
+    // connection gets fresh workers.
+    net::Server server;
+    server.setWorkersPerConnection(2);
+    std::string err;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line) {
+            return line == "drop" ? std::nullopt
+                                  : std::optional<std::string>("ok");
+        },
+        err))
+        << err;
+
+    {
+        Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+        ASSERT_TRUE(conn.valid()) << err;
+        LineReader reader(conn.get());
+        ASSERT_TRUE(net::writeLine(conn.get(), "drop", err));
+        std::string reply;
+        // The poisoned connection may flush an earlier reply but must
+        // end in a close, never serve indefinitely.
+        LineReader::Status status = reader.readLine(reply, err, 5000);
+        while (status == LineReader::Status::Line)
+            status = reader.readLine(reply, err, 5000);
+        EXPECT_NE(status, LineReader::Status::Timeout);
+    }
+
+    Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    LineReader reader(conn.get());
+    ASSERT_TRUE(net::writeLine(conn.get(), "keep", err));
+    std::string reply;
+    ASSERT_EQ(reader.readLine(reply, err, 5000),
+              LineReader::Status::Line)
+        << err;
+    EXPECT_EQ(reply, "ok");
 }
 
 // ---- the daemon's protocol body over the server ----
