@@ -5,18 +5,25 @@
  * NDJSON log (src/store), and `l0store query <host:port> <words...>`
  * asks it questions:
  *
- *   l0store --serve 4100 --log results.ndjson
+ *   l0store --serve 4100 --log results.ndjson --retain-runs 50
  *   fig7_distributed --publish 127.0.0.1:4100 --suite fig7 --rev $SHA
  *   l0store query 127.0.0.1:4100 latest-grid fig7
  *   l0store query 127.0.0.1:4100 diff fig7 <rev-a> <rev-b> 10
  *   l0store query 127.0.0.1:4100 runs fig7
  *   l0store query 127.0.0.1:4100 stats
+ *   l0store watch 127.0.0.1:4100 fig7          # live TUI
+ *   l0store watch 127.0.0.1:4100 fig7 --once   # one snapshot
+ *   l0store compact 127.0.0.1:4100 50          # keep 50 runs/suite
  *
  * The query exit status is the store's verdict (diff returns 1 when
  * any cell regresses past the threshold), 2 on transport or protocol
  * failure — shell-scriptable, which is how bench/run_bench.sh --diff
- * rides on it. Auth/TLS are out of scope by design: bind the daemon
- * to localhost and front it with stunnel or an ssh tunnel when the
+ * rides on it. `watch` is the live-observability client (src/obs):
+ * it subscribes to the suite's event stream and redraws a terminal
+ * grid in place (or emits a self-refreshing HTML page with --html),
+ * reconnecting with resume so every stored event is applied exactly
+ * once. Auth/TLS are out of scope by design: bind the daemon to
+ * localhost and front it with stunnel or an ssh tunnel when the
  * network is not trusted (src/store/README.md).
  */
 
@@ -35,6 +42,7 @@
 #include "net/framing.hh"
 #include "net/server.hh"
 #include "net/socket.hh"
+#include "obs/watch.hh"
 #include "store/service.hh"
 
 using namespace l0vliw;
@@ -58,19 +66,28 @@ usage(int exit)
 {
     std::fprintf(
         exit == 0 ? stdout : stderr,
-        "usage: l0store --serve <port> [--log FILE]\n"
+        "usage: l0store --serve <port> [--log FILE] "
+        "[--retain-runs N] [--max-conns N]\n"
         "       l0store query <host:port> latest-grid <suite> [fmt]\n"
         "       l0store query <host:port> diff <suite> <rev-a> "
         "<rev-b> [threshold%%] [fmt]\n"
         "       l0store query <host:port> runs <suite> [fmt]\n"
         "       l0store query <host:port> stats [fmt]\n"
+        "       l0store query <host:port> compact <keep-runs>\n"
+        "       l0store watch <host:port> <suite> [--once] "
+        "[--html FILE] [--for SECONDS] [--no-ansi]\n"
+        "       l0store compact <host:port> <keep-runs>\n"
         "fmt: table|csv|json (default table). --log defaults to "
-        "l0store.ndjson.\n");
+        "l0store.ndjson.\n"
+        "--retain-runs keeps at most N runs per suite "
+        "(auto-compaction); --max-conns rejects connections past the "
+        "cap with a nack.\n");
     std::exit(exit);
 }
 
 int
-serveMain(std::uint16_t port, const std::string &logPath)
+serveMain(std::uint16_t port, const std::string &logPath,
+          int retainRuns, int maxConns)
 {
     // Same shutdown discipline as the cell daemon: block the signals,
     // route them to a flag, tear down on the normal path.
@@ -88,12 +105,17 @@ serveMain(std::uint16_t port, const std::string &logPath)
     net::ignoreSigpipe();
 
     store::StoreService service;
+    service.setRetainRuns(retainRuns);
+    service.setMaxConnections(maxConns);
     std::string error;
     if (!service.open(logPath, error))
         fatal("--log %s", error.c_str());
 
+    // Session mode: same request/reply protocol, plus `subscribe`
+    // flips a connection to server-push (src/net/PROTOCOL.md).
     net::Server server;
-    if (!server.start(port, service.handler(), error))
+    if (!server.start(port, service.sessionHandler(),
+                      service.closedHandler(), error))
         fatal("--serve %u: %s", static_cast<unsigned>(port),
               error.c_str());
 
@@ -213,7 +235,56 @@ main(int argc, char **argv)
                          {args.begin() + 2, args.end()});
     }
 
+    if (args[0] == "compact") {
+        // Sugar over the query verb: compaction runs in the daemon,
+        // under its lock, with subscribers live.
+        if (args.size() != 3)
+            usage(2);
+        return queryMain(args[1], {"compact", args[2]});
+    }
+
+    if (args[0] == "watch") {
+        if (args.size() < 3)
+            usage(2);
+        obs::WatchOptions options;
+        options.endpoint = args[1];
+        options.suite = args[2];
+        for (std::size_t i = 3; i < args.size(); ++i) {
+            std::string arg = args[i];
+            auto valueOf = [&](const char *name) {
+                std::size_t eq = arg.find('=');
+                if (eq != std::string::npos)
+                    return arg.substr(eq + 1);
+                if (i + 1 >= args.size())
+                    fatal("%s wants a value (see --help)", name);
+                return args[++i];
+            };
+            if (arg == "--once") {
+                options.once = true;
+            } else if (arg == "--no-ansi") {
+                options.ansi = false;
+            } else if (arg == "--html"
+                       || arg.rfind("--html=", 0) == 0) {
+                options.htmlPath = valueOf("--html");
+            } else if (arg == "--for" || arg.rfind("--for=", 0) == 0) {
+                std::string v = valueOf("--for");
+                char *end = nullptr;
+                long s = std::strtol(v.c_str(), &end, 10);
+                if (v.empty() || *end != '\0' || s < 1)
+                    fatal("--for wants a positive second count, got "
+                          "'%s'",
+                          v.c_str());
+                options.forSeconds = static_cast<int>(s);
+            } else {
+                usage(2);
+            }
+        }
+        return obs::watchMain(options);
+    }
+
     int port = -1;
+    int retainRuns = 0;
+    int maxConns = 0;
     std::string logPath = "l0store.ndjson";
     for (std::size_t i = 0; i < args.size(); ++i) {
         std::string arg = args[i];
@@ -238,11 +309,30 @@ main(int argc, char **argv)
             port = static_cast<int>(p);
         } else if (arg == "--log" || arg.rfind("--log=", 0) == 0) {
             logPath = valueOf("--log");
+        } else if (arg == "--retain-runs"
+                   || arg.rfind("--retain-runs=", 0) == 0) {
+            std::string v = valueOf("--retain-runs");
+            char *end = nullptr;
+            long n = std::strtol(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || n < 1)
+                fatal("--retain-runs wants an integer >= 1, got '%s'",
+                      v.c_str());
+            retainRuns = static_cast<int>(n);
+        } else if (arg == "--max-conns"
+                   || arg.rfind("--max-conns=", 0) == 0) {
+            std::string v = valueOf("--max-conns");
+            char *end = nullptr;
+            long n = std::strtol(v.c_str(), &end, 10);
+            if (v.empty() || *end != '\0' || n < 1)
+                fatal("--max-conns wants an integer >= 1, got '%s'",
+                      v.c_str());
+            maxConns = static_cast<int>(n);
         } else {
             usage(2);
         }
     }
     if (port < 0)
         usage(2);
-    return serveMain(static_cast<std::uint16_t>(port), logPath);
+    return serveMain(static_cast<std::uint16_t>(port), logPath,
+                     retainRuns, maxConns);
 }

@@ -20,11 +20,74 @@ Server::start(std::uint16_t port, Handler handler, std::string &error)
     }
     stopping_.store(false);
     handler_ = std::move(handler);
+    sessionHandler_ = nullptr;
+    closedHandler_ = nullptr;
     listen_ = listenTcp(port, error, &port_);
     if (!listen_.valid())
         return false;
     acceptThread_ = std::thread([this]() { acceptLoop(); });
     return true;
+}
+
+bool
+Server::start(std::uint16_t port, SessionHandler handler,
+              ClosedHandler onClosed, std::string &error)
+{
+    if (running()) {
+        error = "server already running";
+        return false;
+    }
+    if (workersPerConn_ > 1) {
+        // Pushes interleaving with out-of-order pipelined replies
+        // would leave the peer no way to correlate; session protocols
+        // depend on the strict serial read loop.
+        error = "session mode requires workersPerConnection == 1";
+        return false;
+    }
+    stopping_.store(false);
+    handler_ = nullptr;
+    sessionHandler_ = std::move(handler);
+    closedHandler_ = std::move(onClosed);
+    listen_ = listenTcp(port, error, &port_);
+    if (!listen_.valid())
+        return false;
+    acceptThread_ = std::thread([this]() { acceptLoop(); });
+    return true;
+}
+
+bool
+Server::Peer::send(const std::string &line, std::string &error)
+{
+    if (conn_ == nullptr) {
+        error = "detached peer handle";
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(conn_->writeMutex);
+    if (!conn_->fd.valid()) {
+        error = "connection closed";
+        return false;
+    }
+    return writeLine(conn_->fd.get(), line, error);
+}
+
+void
+Server::Peer::close()
+{
+    if (conn_ == nullptr)
+        return;
+    // Shut down, don't close: the fd stays owned by the connection
+    // thread (which is still inside its read loop), the reader just
+    // wakes with EOF and runs the closed callback on the normal path.
+    //
+    // Deliberately NOT under writeMutex: a send() blocked on a stalled
+    // peer holds that mutex for as long as the kernel keeps the write
+    // parked, and close() exists precisely to break such a send loose
+    // (shutdown(2) is safe against a concurrent write on the same fd).
+    // Validity is the Peer lifetime contract — the fd is not recycled
+    // until after the closed callback, by which point every Peer copy
+    // is dead.
+    if (conn_->fd.valid())
+        ::shutdown(conn_->fd.get(), SHUT_RDWR);
 }
 
 void
@@ -43,10 +106,11 @@ Server::acceptLoop()
                      static_cast<unsigned>(port_), error.c_str());
             break;
         }
-        accepted_.fetch_add(1);
+        int id = accepted_.fetch_add(1) + 1;
 
         auto c = std::make_unique<Conn>();
         c->fd = std::move(conn);
+        c->id = static_cast<std::uint64_t>(id);
         Conn *raw = c.get();
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_.load())
@@ -64,6 +128,7 @@ Server::serveConn(Conn *conn)
         serveConnPipelined(conn);
         return;
     }
+    Peer peer(conn, conn->id);
     LineReader reader(conn->fd.get());
     const int deadlineMs = idleReadDeadlineMs_ > 0 ? idleReadDeadlineMs_
                                                    : -1;
@@ -82,12 +147,28 @@ Server::serveConn(Conn *conn)
         }
         if (status != LineReader::Status::Line)
             break;
-        std::optional<std::string> reply = handler_(line);
+        std::optional<std::string> reply =
+            sessionHandler_ ? sessionHandler_(line, peer)
+                            : handler_(line);
         if (!reply.has_value())
             break;
-        if (!writeLine(conn->fd.get(), *reply, error))
+        // Session convention: an empty reply means the handler
+        // answered (or will answer) through Peer::send instead.
+        if (sessionHandler_ && reply->empty())
+            continue;
+        bool wrote;
+        {
+            std::lock_guard<std::mutex> wlock(conn->writeMutex);
+            wrote = writeLine(conn->fd.get(), *reply, error);
+        }
+        if (!wrote)
             break;
     }
+    // The connection is over, whatever ended it: give the session's
+    // owner its one chance to drop (and join anything holding) Peer
+    // copies before the fd goes away.
+    if (closedHandler_)
+        closedHandler_(peer);
     // Framing errors (truncated/oversized), a declining handler, and
     // EOF all end here: the peer sees EOF and its retry discipline
     // takes over. Close the fd now — under the mutex, so stop()'s
@@ -96,7 +177,12 @@ Server::serveConn(Conn *conn)
     // must not sit on a finished suite's worth of sockets.
     std::lock_guard<std::mutex> lock(mutex_);
     ::shutdown(conn->fd.get(), SHUT_RDWR);
-    conn->fd.reset();
+    {
+        // Under the write mutex too: a contract-violating late
+        // Peer::send must see an invalid fd, never a recycled one.
+        std::lock_guard<std::mutex> wlock(conn->writeMutex);
+        conn->fd.reset();
+    }
     conn->done.store(true);
 }
 

@@ -25,6 +25,22 @@
  * The queue bound is the backpressure: a client that outruns the
  * workers blocks in the kernel's socket buffer, never in daemon
  * memory. See src/net/PROTOCOL.md for the windowing rules.
+ *
+ * Session mode (the SessionHandler start overload): the handler
+ * additionally receives a Peer handle for the connection — a stable
+ * identity (id) plus two thread-safe operations: send() pushes an
+ * unsolicited frame to the peer (serialized with the reply path), and
+ * close() shuts the connection down so its reader wakes with EOF.
+ * This is the sanctioned departure from strict request/reply that the
+ * store's subscription channel rides on (src/net/PROTOCOL.md): a
+ * handler may keep the Peer (it is a copyable handle), hand it to a
+ * writer thread, and push frames until the closed callback for that
+ * peer returns — after which every copy is dead and must not be used.
+ * The closed callback runs on the connection's own thread, exactly
+ * once per connection, whatever ended it (EOF, error, close(),
+ * stop()); it is where the owner joins any thread still holding the
+ * Peer. Session mode keeps the strict serial read loop (it composes
+ * with per-connection ordering, not with the pipelined worker pool).
  */
 
 #ifndef L0VLIW_NET_SERVER_HH
@@ -48,6 +64,9 @@ namespace l0vliw::net
 /** Serves one request line → one reply line per round trip. */
 class Server
 {
+  private:
+    struct Conn;
+
   public:
     /**
      * Maps a received frame to the reply frame. Returning nullopt
@@ -56,6 +75,54 @@ class Server
      */
     using Handler =
         std::function<std::optional<std::string>(const std::string &)>;
+
+    /**
+     * A handle to one live connection, handed to a SessionHandler.
+     * Copyable; every copy is valid until the closed callback for
+     * this connection returns. All operations are thread-safe.
+     */
+    class Peer
+    {
+      public:
+        Peer() = default;
+
+        /** Stable connection identity (1-based accept order). */
+        std::uint64_t id() const { return id_; }
+
+        /**
+         * Push one unsolicited frame to the peer, serialized against
+         * concurrent replies and other pushes. False + @p error when
+         * the connection is already broken — callers treat it like a
+         * peer hangup (close() and let the closed callback clean up).
+         */
+        bool send(const std::string &line, std::string &error);
+
+        /** Shut the connection down: its reader wakes with EOF and
+         *  the closed callback runs on the connection thread. */
+        void close();
+
+      private:
+        friend class Server;
+        Peer(Conn *conn, std::uint64_t id) : conn_(conn), id_(id) {}
+
+        Conn *conn_ = nullptr;
+        std::uint64_t id_ = 0;
+    };
+
+    /**
+     * A Handler that also sees the connection's Peer handle. One
+     * extra convention: returning an *empty* string means "handled,
+     * no direct reply" — for verbs whose response is pushed through
+     * Peer::send instead (protocol lines are never empty, so nothing
+     * is lost). Returning nullopt still closes the connection.
+     */
+    using SessionHandler = std::function<std::optional<std::string>(
+        const std::string &, Peer &)>;
+
+    /** Runs once per connection, on its thread, after its read loop
+     *  ends and before the Peer dies — the owner's last chance to
+     *  drop (and join anything holding) its Peer copies. */
+    using ClosedHandler = std::function<void(Peer &)>;
 
     Server() = default;
     ~Server() { stop(); }
@@ -68,6 +135,15 @@ class Server
      * the accept thread. False + @p error when the port is taken.
      */
     bool start(std::uint16_t port, Handler handler, std::string &error);
+
+    /**
+     * Session-mode start: like start(), but the handler gets a Peer
+     * and @p onClosed runs when a connection ends (may be null).
+     * Incompatible with setWorkersPerConnection > 1 (session
+     * protocols rely on the strict serial read loop).
+     */
+    bool start(std::uint16_t port, SessionHandler handler,
+               ClosedHandler onClosed, std::string &error);
 
     /**
      * Bound each per-connection read to @p ms of wall clock (the
@@ -111,6 +187,11 @@ class Server
         Fd fd;
         std::thread thread;
         std::atomic<bool> done{false};
+        std::uint64_t id = 0;
+        /** Serializes every write on this connection: the reply path
+         *  against Peer::send pushes (session mode) or against the
+         *  pipelined workers' completion-order replies. */
+        std::mutex writeMutex;
     };
 
     void acceptLoop();
@@ -120,6 +201,8 @@ class Server
     void reapFinished();
 
     Handler handler_;
+    SessionHandler sessionHandler_;
+    ClosedHandler closedHandler_;
     Fd listen_;
     int idleReadDeadlineMs_ = 1000;
     int workersPerConn_ = 1;

@@ -1,0 +1,202 @@
+#include "obs/live_grid.hh"
+
+#include <optional>
+#include <sstream>
+
+#include "common/json.hh"
+#include "store/event_log.hh"
+
+namespace l0vliw::obs
+{
+
+LiveGrid::Apply
+LiveGrid::applyFrame(const std::string &line, std::string &error)
+{
+    std::optional<json::Value> parsed = json::parse(line, &error);
+    if (!parsed)
+        return Apply::Malformed;
+    if (!parsed->isObject()) {
+        error = "frame is not an object";
+        return Apply::Malformed;
+    }
+    const json::Value *kind = parsed->find("event");
+    if (kind == nullptr || !kind->isString()) {
+        // Query-shaped error replies ({"ok":false,...}) are how the
+        // server declines a malformed subscribe line.
+        const json::Value *ok = parsed->find("ok");
+        if (ok != nullptr && ok->isBool() && !ok->boolean()) {
+            const json::Value *msg = parsed->find("error");
+            error = msg != nullptr && msg->isString()
+                        ? msg->str()
+                        : "server rejected the subscription";
+            return Apply::Rejected;
+        }
+        error = "missing field 'event'";
+        return Apply::Malformed;
+    }
+    const std::string name = kind->str();
+
+    if (name == "subscribed") {
+        // `latest` below what we already applied means this server
+        // has less history than we folded: it restarted onto a
+        // truncated (or fresh) log. Start over — dedup state keyed
+        // on its old sequence numbering is meaningless now.
+        const json::Value *latest = parsed->find("latest");
+        if (latest != nullptr && latest->isNumber()
+            && latest->asU64() < lastSeq_) {
+            reset();
+            ++resets_;
+        }
+        caughtUp_ = false;
+        return Apply::Info;
+    }
+    if (name == "caught-up") {
+        caughtUp_ = true;
+        return Apply::Info;
+    }
+    if (name == "nack") {
+        const json::Value *msg = parsed->find("error");
+        error = msg != nullptr && msg->isString() ? msg->str() : "nack";
+        return Apply::Rejected;
+    }
+    if (name != "push") {
+        error = "unexpected event '" + name + "'";
+        return Apply::Malformed;
+    }
+
+    const json::Value *seqField = parsed->find("seq");
+    const json::Value *data = parsed->find("data");
+    if (seqField == nullptr || !seqField->isNumber() || data == nullptr) {
+        error = "push without seq/data";
+        return Apply::Malformed;
+    }
+    std::uint64_t seq = seqField->asU64();
+    store::Event event;
+    if (!store::Event::decode(*data, event, error))
+        return Apply::Malformed;
+    if (event.suite != suite_)
+        return Apply::Info; // the server filters; tolerate anyway
+    if (!applied_.insert(seq).second) {
+        // Replay overlap after a resume — the at-least-once half of
+        // the channel; dropping it here is the exactly-once half.
+        ++duplicates_;
+        return Apply::Duplicate;
+    }
+    if (seq > lastSeq_)
+        lastSeq_ = seq;
+
+    LiveRun &run = runFor(event.run, event.rev);
+    if (seq > run.seq)
+        run.seq = seq;
+    if (event.kind == store::Event::Kind::Grid) {
+        run.hasGrid = true;
+        run.grid = event.table;
+        ++gridsApplied_;
+        return Apply::Applied;
+    }
+    LiveCell cell;
+    cell.ok = event.ok;
+    cell.reason = event.reason;
+    cell.attempts = event.attempts;
+    cell.wallMs = event.wallMs;
+    cell.totalCycles = event.totalCycles;
+    run.cells[{event.bench, event.arch}] = cell;
+    knownKeys_.insert({event.bench, event.arch});
+    ++cellsApplied_;
+    if (!event.ok) {
+        ++failed_;
+        ++byReason_[static_cast<int>(event.reason)];
+    }
+    return Apply::Applied;
+}
+
+void
+LiveGrid::reset()
+{
+    runs_.clear();
+    knownKeys_.clear();
+    applied_.clear();
+    lastSeq_ = 0;
+    caughtUp_ = false;
+    cellsApplied_ = 0;
+    gridsApplied_ = 0;
+    duplicates_ = 0;
+    failed_ = 0;
+    for (auto &count : byReason_)
+        count = 0;
+}
+
+LiveRun &
+LiveGrid::runFor(const std::string &run, const std::string &rev)
+{
+    for (auto &info : runs_)
+        if (info.run == run)
+            return info;
+    runs_.emplace_back();
+    runs_.back().run = run;
+    runs_.back().rev = rev;
+    return runs_.back();
+}
+
+ResultTable
+LiveGrid::liveTable() const
+{
+    ResultTable t;
+    t.header = {"benchmark", "arch", "status", "cycles", "attempts",
+                "wallMs"};
+    const LiveRun *latest = nullptr;
+    for (const auto &run : runs_)
+        if (latest == nullptr || run.seq > latest->seq)
+            latest = &run;
+    if (latest == nullptr) {
+        t.title = "live " + suite_ + ": waiting for events\n";
+        return t;
+    }
+    t.title = "live " + suite_ + " @ " + latest->rev + " (run "
+              + latest->run + ")"
+              + (latest->hasGrid ? "" : " [in flight]") + "\n";
+    for (const auto &key : knownKeys_) {
+        auto it = latest->cells.find(key);
+        std::vector<CellValue> row;
+        row.push_back(CellValue::text(key.first));
+        row.push_back(CellValue::text(key.second));
+        if (it == latest->cells.end()) {
+            // Expected (some run produced this cell) but not landed
+            // in the latest run yet: the in-flight marker.
+            row.push_back(CellValue::text("..."));
+            row.push_back(CellValue::text("-"));
+            row.push_back(CellValue::text("-"));
+            row.push_back(CellValue::text("-"));
+        } else {
+            const LiveCell &cell = it->second;
+            row.push_back(CellValue::text(
+                cell.ok ? "ok" : failReasonName(cell.reason)));
+            row.push_back(CellValue::integer(cell.totalCycles));
+            row.push_back(CellValue::integer(
+                static_cast<std::uint64_t>(cell.attempts)));
+            row.push_back(CellValue::fixed(cell.wallMs, 1));
+        }
+        t.rows.push_back(std::move(row));
+    }
+    std::ostringstream foot;
+    foot << runs_.size() << " run(s) | " << cellsApplied_
+         << " cell(s) | " << failed_ << " failed | " << duplicates_
+         << " dup(s) | seq " << lastSeq_ << " | "
+         << (caughtUp_ ? "live" : "replaying") << "\n";
+    t.footer = foot.str();
+    return t;
+}
+
+const ResultTable *
+LiveGrid::latestStoredGrid() const
+{
+    // Mirrors the store's `latest-grid`: the newest run *with a
+    // published grid* — an in-flight run never shadows the previous
+    // complete one.
+    for (auto it = runs_.rbegin(); it != runs_.rend(); ++it)
+        if (it->hasGrid)
+            return &it->grid;
+    return nullptr;
+}
+
+} // namespace l0vliw::obs

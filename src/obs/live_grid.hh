@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The live-observability model: LiveGrid folds a store subscription
+ * stream (src/net/PROTOCOL.md, "subscription channel") into an
+ * incrementally-updated view of one suite's grid.
+ *
+ * The fold is driven one frame at a time by whatever owns the
+ * connection (obs::Watcher, tests feeding canned lines): `subscribed`
+ * arms a new session, `push` frames apply the embedded store event,
+ * `caught-up` marks the replay complete. Exactly-once is client-side:
+ * every push carries the store's global sequence number, LiveGrid
+ * remembers which it has applied, and a resumed session's replay
+ * overlap dedups here — so reconnect-with-resume (`from-seq
+ * lastSeq()+1`) applies each stored event exactly once however often
+ * the connection drops. A `subscribed` reply whose `latest` is below
+ * what we already applied means the server lost history (restarted
+ * onto a truncated log); the model resets and refolds from scratch.
+ *
+ * Two read sides: liveTable() is the in-flight view — latest run
+ * wins, cells the suite is known to produce but that have not landed
+ * yet are marked in flight, failures surface their FailReason — and
+ * latestStoredGrid() is the newest *published* grid table, decoded
+ * from the grid frame's lossless wire form, so rendering it is
+ * byte-identical to the store's own `latest-grid` answer (what
+ * `l0store watch --once` prints and CI diffs).
+ */
+
+#ifndef L0VLIW_OBS_LIVE_GRID_HH
+#define L0VLIW_OBS_LIVE_GRID_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result_sink.hh"
+#include "driver/retry.hh"
+
+namespace l0vliw::obs
+{
+
+/** One cell of the in-flight view. */
+struct LiveCell
+{
+    bool ok = false;
+    FailReason reason = FailReason::None;
+    int attempts = 1;
+    double wallMs = 0;
+    std::uint64_t totalCycles = 0;
+};
+
+/** Everything seen for one run of the watched suite. */
+struct LiveRun
+{
+    std::string run;
+    std::string rev;
+    std::uint64_t seq = 0; ///< newest applied event's sequence
+    std::map<std::pair<std::string, std::string>, LiveCell> cells;
+    bool hasGrid = false;
+    ResultTable grid; ///< the published table, losslessly decoded
+};
+
+/** Fold of one suite's subscription stream. Not thread-safe. */
+class LiveGrid
+{
+  public:
+    /** What applying one received line did. */
+    enum class Apply
+    {
+        Applied,   ///< a push folded into the model
+        Duplicate, ///< a push we already applied (replay overlap)
+        Info,      ///< subscribed / caught-up / foreign-suite push
+        Rejected,  ///< the server said no (nack or {"ok":false})
+        Malformed, ///< undecodable — the caller should reconnect
+    };
+
+    explicit LiveGrid(std::string suite) : suite_(std::move(suite)) {}
+
+    /** Fold one line from the subscription channel. @p error is set
+     *  for Rejected (the server's message) and Malformed. */
+    Apply applyFrame(const std::string &line, std::string &error);
+
+    /** Drop everything and start over (server lost its history). */
+    void reset();
+
+    // ---- the read side ----
+
+    const std::string &suite() const { return suite_; }
+
+    /** Highest sequence applied — resume with `from-seq lastSeq()+1`. */
+    std::uint64_t lastSeq() const { return lastSeq_; }
+
+    /** True once the current session's replay finished. */
+    bool caughtUp() const { return caughtUp_; }
+
+    /** The in-flight view: latest run wins, missing-but-expected
+     *  cells marked, failures carry their reason. */
+    ResultTable liveTable() const;
+
+    /** The newest run's published grid (null until one lands);
+     *  renderText() of it matches `latest-grid` byte-for-byte. */
+    const ResultTable *latestStoredGrid() const;
+
+    /** Runs seen, first-push order. */
+    const std::vector<LiveRun> &runs() const { return runs_; }
+
+    // ---- counters (the TUI's status line) ----
+
+    std::uint64_t cellsApplied() const { return cellsApplied_; }
+    std::uint64_t gridsApplied() const { return gridsApplied_; }
+    std::uint64_t duplicates() const { return duplicates_; }
+    std::uint64_t failed() const { return failed_; }
+    std::uint64_t failedBy(FailReason r) const
+    {
+        return byReason_[static_cast<int>(r)];
+    }
+    /** Times the model restarted because the server lost history. */
+    std::uint64_t resets() const { return resets_; }
+
+  private:
+    LiveRun &runFor(const std::string &run, const std::string &rev);
+
+    std::string suite_;
+    std::vector<LiveRun> runs_;
+    /** Every (bench, arch) the suite has ever produced — what the
+     *  in-flight view expects of the latest run. */
+    std::set<std::pair<std::string, std::string>> knownKeys_;
+    std::set<std::uint64_t> applied_;
+    std::uint64_t lastSeq_ = 0;
+    bool caughtUp_ = false;
+    std::uint64_t cellsApplied_ = 0;
+    std::uint64_t gridsApplied_ = 0;
+    std::uint64_t duplicates_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t byReason_[6] = {};
+    std::uint64_t resets_ = 0;
+};
+
+} // namespace l0vliw::obs
+
+#endif // L0VLIW_OBS_LIVE_GRID_HH

@@ -1,0 +1,266 @@
+#include "obs/watch.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/rng.hh"
+#include "driver/retry.hh"
+#include "net/framing.hh"
+#include "net/socket.hh"
+
+namespace l0vliw::obs
+{
+
+Watcher::Session
+Watcher::runSession(const std::function<bool(LiveGrid &)> &onUpdate,
+                    std::string &error, int idleDeadlineMs)
+{
+    net::HostPort hp;
+    if (!net::parseHostPort(endpoint_, hp, error))
+        return Session::ConnectFailed;
+    net::Fd fd = net::connectTcp(hp.host, hp.port, error);
+    if (!fd.valid())
+        return Session::ConnectFailed;
+
+    std::string subscribe = "subscribe " + grid_.suite();
+    if (grid_.lastSeq() > 0)
+        subscribe += " from-seq " + std::to_string(grid_.lastSeq() + 1);
+    if (!net::writeLine(fd.get(), subscribe, error))
+        return Session::Disconnected;
+
+    net::LineReader reader(fd.get());
+    std::string line;
+    for (;;) {
+        net::LineReader::Status status =
+            reader.readLine(line, error, idleDeadlineMs);
+        if (status == net::LineReader::Status::Timeout) {
+            // Idle tick: no frame, but the renderer still gets a beat
+            // (and the owner its chance to stop on a deadline).
+            if (!onUpdate(grid_))
+                return Session::Stopped;
+            continue;
+        }
+        if (status != net::LineReader::Status::Line) {
+            if (status == net::LineReader::Status::Eof)
+                error = "server closed the connection";
+            return Session::Disconnected;
+        }
+        std::string applyError;
+        switch (grid_.applyFrame(line, applyError)) {
+        case LiveGrid::Apply::Rejected:
+            error = applyError;
+            return Session::Rejected;
+        case LiveGrid::Apply::Malformed:
+            // A corrupt frame poisons the framing — drop the
+            // connection and resume; the replay overlap dedups.
+            error = applyError;
+            return Session::Disconnected;
+        default:
+            break;
+        }
+        if (!onUpdate(grid_))
+            return Session::Stopped;
+    }
+}
+
+std::string
+renderTui(const LiveGrid &grid, const std::string &endpoint,
+          bool connected)
+{
+    // Home + erase-below, not clear-screen: the frame overdraws the
+    // previous one in place, so a steady grid does not flicker.
+    std::string out = "\x1b[H";
+    out += "l0store watch " + grid.suite() + " @ " + endpoint + " -- ";
+    out += connected ? (grid.caughtUp() ? "live" : "replaying...")
+                     : "reconnecting...";
+    out += "\x1b[K\n\n";
+    out += renderText(grid.liveTable());
+    out += "\x1b[J";
+    return out;
+}
+
+namespace
+{
+
+std::string
+htmlEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+        case '&':
+            out += "&amp;";
+            break;
+        case '<':
+            out += "&lt;";
+            break;
+        case '>':
+            out += "&gt;";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderHtml(const LiveGrid &grid, const std::string &endpoint,
+           bool connected)
+{
+    const char *state = connected
+                            ? (grid.caughtUp() ? "live" : "replaying")
+                            : "reconnecting";
+    std::string out;
+    out += "<!DOCTYPE html>\n<html>\n<head>\n";
+    out += "<meta charset=\"utf-8\">\n";
+    // The whole "poller": the browser reloads the page; the watcher
+    // overwrites the file atomically. No server logic anywhere.
+    out += "<meta http-equiv=\"refresh\" content=\"1\">\n";
+    out += "<title>l0store watch " + htmlEscape(grid.suite())
+           + "</title>\n";
+    out += "<style>body{background:#14161a;color:#d8dce2;"
+           "font-family:monospace;margin:2em}"
+           "h1{font-size:1.1em}pre{line-height:1.35}"
+           ".state{color:#8fbc6f}</style>\n";
+    out += "</head>\n<body>\n";
+    out += "<h1>l0store watch " + htmlEscape(grid.suite()) + " @ "
+           + htmlEscape(endpoint) + " &mdash; <span class=\"state\">"
+           + state + "</span></h1>\n";
+    out += "<pre>" + htmlEscape(renderText(grid.liveTable()))
+           + "</pre>\n";
+    out += "</body>\n</html>\n";
+    return out;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                std::string &error)
+{
+    const std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+        error = tmp + ": cannot open for writing";
+        return false;
+    }
+    bool ok = std::fwrite(content.data(), 1, content.size(), f)
+              == content.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        error = tmp + ": short write";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = path + ": rename failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+watchMain(const WatchOptions &options)
+{
+    using Clock = std::chrono::steady_clock;
+    net::ignoreSigpipe();
+
+    Watcher watcher(options.endpoint, options.suite);
+    const Clock::time_point deadline =
+        options.forSeconds > 0
+            ? Clock::now() + std::chrono::seconds(options.forSeconds)
+            : Clock::time_point::max();
+    bool caught = false;
+    // Epoch, not min(): `now - min()` overflows the duration.
+    Clock::time_point lastRender{};
+
+    auto render = [&](LiveGrid &grid, bool connected) {
+        if (options.once)
+            return;
+        // Throttle: a replay burst is hundreds of frames; the
+        // terminal needs at most ~10 frames a second.
+        Clock::time_point now = Clock::now();
+        if (connected
+            && now - lastRender < std::chrono::milliseconds(100))
+            return;
+        lastRender = now;
+        if (options.ansi) {
+            std::string frame =
+                renderTui(grid, options.endpoint, connected);
+            std::fwrite(frame.data(), 1, frame.size(), stdout);
+            std::fflush(stdout);
+        }
+        if (!options.htmlPath.empty()) {
+            std::string error;
+            if (!writeFileAtomic(
+                    options.htmlPath,
+                    renderHtml(grid, options.endpoint, connected),
+                    error))
+                std::fprintf(stderr, "l0store watch: %s\n",
+                             error.c_str());
+        }
+    };
+
+    auto onUpdate = [&](LiveGrid &grid) {
+        if (options.once && grid.caughtUp()) {
+            caught = true;
+            return false;
+        }
+        render(grid, true);
+        return Clock::now() < deadline;
+    };
+
+    Rng rng(0x0b5'740c4ULL);
+    RetryPolicy policy;
+    int failures = 0;
+    for (;;) {
+        std::string error;
+        Watcher::Session session =
+            watcher.runSession(onUpdate, error, 250);
+        if (session == Watcher::Session::Stopped)
+            break;
+        if (session == Watcher::Session::Rejected) {
+            std::fprintf(stderr, "l0store watch: %s\n", error.c_str());
+            return 2;
+        }
+        // A session that got as far as applying frames earns a fresh
+        // retry budget; only consecutive failures accumulate.
+        failures = session == Watcher::Session::ConnectFailed
+                           || watcher.grid().lastSeq() == 0
+                       ? failures + 1
+                       : 1;
+        if (options.once && failures >= 5) {
+            std::fprintf(stderr, "l0store watch: %s\n", error.c_str());
+            return 2;
+        }
+        if (Clock::now() >= deadline)
+            break;
+        render(watcher.grid(), false);
+        int backoff = policy.backoffMs(failures < 6 ? failures : 6, rng);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+
+    if (options.once) {
+        if (!caught)
+            return 2;
+        const ResultTable *grid = watcher.grid().latestStoredGrid();
+        if (grid == nullptr) {
+            std::fprintf(stderr,
+                         "l0store watch: suite '%s' has no stored "
+                         "grid yet\n",
+                         options.suite.c_str());
+            return 1;
+        }
+        // Verbatim: byte-identical to the `latest-grid` query answer.
+        std::string text = renderText(*grid);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace l0vliw::obs

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The live-observability client: Watcher runs subscription sessions
+ * against a store daemon and folds them into a LiveGrid; watchMain is
+ * the `l0store watch` verb built on top of it.
+ *
+ * The session loop is the reconnect discipline in miniature: connect,
+ * `subscribe <suite> from-seq lastSeq()+1`, pump frames until the
+ * connection ends, back off (capped exponential, jittered — the
+ * shared RetryPolicy), reconnect, resume. The LiveGrid's sequence
+ * dedup makes the replay overlap harmless, so across any number of
+ * drops — injected resets, corrupt frames, daemon restarts — each
+ * stored event lands in the model exactly once. A corrupt frame is
+ * treated exactly like a hangup (drop the connection, resume); there
+ * is no way to resynchronize a line-framed stream mid-line.
+ *
+ * Renderers: renderTui is a redraw-in-place ANSI frame (home + erase-
+ * below, no flicker-prone full clears) around the LiveGrid's live
+ * table and counters; renderHtml is a self-refreshing single page
+ * (meta refresh — the "poller" is the browser, the server side is a
+ * plain file overwritten atomically). `--once` waits for caught-up
+ * and prints the newest *stored* grid verbatim — byte-identical to
+ * the store's `latest-grid` answer, which is what CI diffs.
+ */
+
+#ifndef L0VLIW_OBS_WATCH_HH
+#define L0VLIW_OBS_WATCH_HH
+
+#include <functional>
+#include <string>
+
+#include "obs/live_grid.hh"
+
+namespace l0vliw::obs
+{
+
+/** One suite's subscription client: sessions over a shared LiveGrid. */
+class Watcher
+{
+  public:
+    /** How one session ended. */
+    enum class Session
+    {
+        Stopped,       ///< the update callback asked to stop
+        Disconnected,  ///< connection lost (or a corrupt frame)
+        Rejected,      ///< the server said no (nack / error reply)
+        ConnectFailed, ///< could not even connect
+    };
+
+    Watcher(std::string endpoint, std::string suite)
+        : endpoint_(std::move(endpoint)), grid_(std::move(suite))
+    {
+    }
+
+    /** The fold — survives across sessions (that is the point). */
+    LiveGrid &grid() { return grid_; }
+
+    /**
+     * Run one connect → subscribe → pump session, resuming from the
+     * grid's lastSeq(). @p onUpdate runs after every applied frame
+     * and on every idle tick (@p idleDeadlineMs of silence);
+     * returning false from it ends the session cleanly. @p error
+     * says why for the non-Stopped outcomes.
+     */
+    Session runSession(const std::function<bool(LiveGrid &)> &onUpdate,
+                       std::string &error, int idleDeadlineMs = 250);
+
+  private:
+    std::string endpoint_;
+    LiveGrid grid_;
+};
+
+/** One ANSI redraw-in-place frame of the live view. */
+std::string renderTui(const LiveGrid &grid, const std::string &endpoint,
+                      bool connected);
+
+/** One self-refreshing HTML page of the live view (zero server
+ *  logic: the browser polls the file, we overwrite it atomically). */
+std::string renderHtml(const LiveGrid &grid,
+                       const std::string &endpoint, bool connected);
+
+/** Write @p content to @p path via temp + rename, so a poller never
+ *  reads a half-written page. */
+bool writeFileAtomic(const std::string &path, const std::string &content,
+                     std::string &error);
+
+/** `l0store watch` options. */
+struct WatchOptions
+{
+    std::string endpoint;
+    std::string suite;
+    bool once = false;     ///< wait for caught-up, print the stored
+                           ///< grid verbatim, exit
+    std::string htmlPath;  ///< when set, emit the HTML page per update
+    int forSeconds = 0;    ///< bound a live watch (0 = until killed)
+    bool ansi = true;      ///< TUI redraw (live mode)
+};
+
+/**
+ * The `l0store watch` verb. Exit codes: 0 = clean (deadline reached,
+ * or --once printed a grid); 1 = --once caught up but the suite has
+ * no stored grid yet; 2 = transport failure (could not connect /
+ * kept dropping) or the server rejected the subscription.
+ */
+int watchMain(const WatchOptions &options);
+
+} // namespace l0vliw::obs
+
+#endif // L0VLIW_OBS_WATCH_HH

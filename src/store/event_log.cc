@@ -1,6 +1,8 @@
 #include "store/event_log.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include <fcntl.h>
@@ -31,9 +33,17 @@ takeString(const json::Value &obj, const char *key, std::string &out)
 bool
 Event::decode(const std::string &line, Event &out, std::string &error)
 {
-    std::optional<json::Value> doc = json::parse(line, &error);
-    if (!doc)
+    std::optional<json::Value> parsed = json::parse(line, &error);
+    if (!parsed)
         return false;
+    return decode(*parsed, out, error);
+}
+
+bool
+Event::decode(const json::Value &docValue, Event &out,
+              std::string &error)
+{
+    const json::Value *doc = &docValue;
     if (!doc->isObject()) {
         error = "event is not an object";
         return false;
@@ -131,6 +141,17 @@ SuiteInfo::findRun(const std::string &run) const
 bool
 EventLog::open(const std::string &path, std::string &error)
 {
+    path_ = path;
+    // A stale compaction temp means a crash landed between writing
+    // the rewrite and rename(2)ing it into place. The rename never
+    // happened, so the main log is complete and authoritative — the
+    // half-written temp is dead weight, removed so the next compact
+    // starts clean.
+    const std::string tmp = path + ".compact";
+    if (::unlink(tmp.c_str()) == 0)
+        warn("%s: removed stale compaction temp (crash mid-compact; "
+             "the uncompacted log is authoritative)",
+             tmp.c_str());
     fd_.reset(::open(path.c_str(), O_RDWR | O_CREAT, 0644));
     if (!fd_.valid()) {
         error = path + ": " + std::strerror(errno);
@@ -173,8 +194,10 @@ EventLog::open(const std::string &path, std::string &error)
             ++malformed_;
             continue;
         }
-        if (index(event))
+        if (std::uint64_t seq = index(event)) {
             ++replayed_;
+            events_.push_back({seq, event.suite, event.run, line});
+        }
     }
     truncatedTail_ = content.size() - keep;
     if (truncatedTail_ > 0) {
@@ -200,8 +223,10 @@ EventLog::ingest(const std::string &line, std::string &error)
         ++malformed_;
         return Ingest::Malformed;
     }
-    if (!index(event))
+    std::uint64_t seq = index(event);
+    if (seq == 0)
         return Ingest::Duplicate;
+    events_.push_back({seq, event.suite, event.run, line});
 
     // One write per line: a crash between events loses nothing, a
     // crash mid-write tears only the final line — which the next
@@ -225,8 +250,8 @@ EventLog::ingest(const std::string &line, std::string &error)
     return Ingest::Stored;
 }
 
-bool
-EventLog::index(const Event &event)
+std::uint64_t
+EventLog::index(const Event &event, std::uint64_t forcedSeq)
 {
     auto inserted = suites_.emplace(event.suite, SuiteInfo{});
     SuiteInfo &suite = inserted.first->second;
@@ -250,18 +275,18 @@ EventLog::index(const Event &event)
         // the first stored copy keeps the log append-only in spirit.
         if (run->hasGrid) {
             ++suite.counters.duplicates;
-            return false;
+            return 0;
         }
         run->hasGrid = true;
         run->grid = event.table;
-        run->seq = ++seq_;
+        run->seq = forcedSeq != 0 ? forcedSeq : ++seq_;
         ++suite.counters.grids;
-        return true;
+        return run->seq;
     }
 
     if (!run->seenIds.insert(event.id).second) {
         ++suite.counters.duplicates;
-        return false;
+        return 0;
     }
     CellRecord &cell = run->cells[{event.bench, event.arch}];
     cell.ok = event.ok;
@@ -269,11 +294,128 @@ EventLog::index(const Event &event)
     cell.attempts = event.attempts;
     cell.wallMs = event.wallMs;
     cell.totalCycles = event.totalCycles;
-    run->seq = ++seq_;
+    run->seq = forcedSeq != 0 ? forcedSeq : ++seq_;
     ++suite.counters.cells;
     if (!event.ok) {
         ++suite.counters.failed;
         ++suite.counters.byReason[static_cast<int>(event.reason)];
+    }
+    return run->seq;
+}
+
+bool
+EventLog::compact(int keepRuns, CompactStats &stats, std::string &error)
+{
+    stats = CompactStats{};
+    if (!fd_.valid()) {
+        error = "log not open";
+        return false;
+    }
+    if (keepRuns < 1) {
+        error = "keepRuns must be >= 1";
+        return false;
+    }
+
+    // Decide survivors: per suite, the keepRuns runs with the newest
+    // events (RunInfo::seq order — the same order `latest-run` uses,
+    // so the latest run always survives).
+    std::set<std::pair<std::string, std::string>> kept;
+    for (const auto &kv : suites_) {
+        std::vector<const RunInfo *> runs;
+        runs.reserve(kv.second.runs.size());
+        for (const auto &run : kv.second.runs)
+            runs.push_back(&run);
+        std::sort(runs.begin(), runs.end(),
+                  [](const RunInfo *a, const RunInfo *b) {
+                      return a->seq > b->seq;
+                  });
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (i < static_cast<std::size_t>(keepRuns))
+                kept.emplace(kv.first, runs[i]->run);
+            else
+                ++stats.droppedRuns;
+        }
+    }
+
+    off_t before = ::lseek(fd_.get(), 0, SEEK_END);
+    stats.bytesBefore = before > 0 ? static_cast<std::uint64_t>(before) : 0;
+
+    // Rewrite to a temp beside the log (same filesystem, so the
+    // rename below is atomic), fsync, then swap. Any failure before
+    // the rename leaves the original log untouched.
+    const std::string tmp = path_ + ".compact";
+    net::Fd out(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+    if (!out.valid()) {
+        error = tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    auto fail = [&](const std::string &what) {
+        error = tmp + ": " + what + ": " + std::strerror(errno);
+        out.reset();
+        ::unlink(tmp.c_str());
+        return false;
+    };
+    for (const StoredEvent &event : events_) {
+        if (kept.count({event.suite, event.run}) == 0) {
+            ++stats.droppedEvents;
+            continue;
+        }
+        std::string framed = event.line;
+        framed += '\n';
+        std::size_t off = 0;
+        while (off < framed.size()) {
+            ssize_t n = ::write(out.get(), framed.data() + off,
+                                framed.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return fail("write");
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        ++stats.keptEvents;
+        stats.bytesAfter += framed.size();
+    }
+    if (::fsync(out.get()) != 0)
+        return fail("fsync");
+    out.reset();
+    if (::rename(tmp.c_str(), path_.c_str()) != 0)
+        return fail("rename");
+
+    // The old fd still names the pre-compaction inode; appends must
+    // land on the new file.
+    fd_.reset(::open(path_.c_str(), O_RDWR, 0644));
+    if (!fd_.valid()) {
+        // The compacted log is complete on disk; only this process
+        // lost its handle. Nothing sane to serve without one.
+        error = path_ + ": reopen after compact: " + std::strerror(errno);
+        return false;
+    }
+    if (::lseek(fd_.get(), 0, SEEK_END) < 0) {
+        error = path_ + ": lseek: " + std::strerror(errno);
+        return false;
+    }
+
+    // Rebuild the index from the kept events only, pinning each line
+    // to the sequence number it already had — subscribers' resume
+    // cursors and `latest run` order both survive compaction. seq_
+    // itself is untouched: the next ingest continues the same global
+    // counter.
+    std::vector<StoredEvent> retained;
+    retained.reserve(stats.keptEvents);
+    for (StoredEvent &event : events_)
+        if (kept.count({event.suite, event.run}) != 0)
+            retained.push_back(std::move(event));
+    suiteOrder_.clear();
+    suites_.clear();
+    events_.clear();
+    for (StoredEvent &event : retained) {
+        Event decoded;
+        std::string decodeError;
+        if (!Event::decode(event.line, decoded, decodeError))
+            continue; // cannot happen: the line was ingested once
+        if (index(decoded, event.seq) != 0)
+            events_.push_back(std::move(event));
     }
     return true;
 }

@@ -24,6 +24,22 @@
  * grid frame on (suite, run), so the publisher may resend any frame
  * whose ack was lost. EventLog itself is not thread-safe — the store
  * daemon serializes access (StoreService); tests drive it directly.
+ *
+ * Sequencing contract: every stored event gets the next value of one
+ * global, strictly increasing sequence counter — the subscription
+ * channel's replay/resume coordinate. Sequence numbers are stable for
+ * the life of one EventLog (compaction preserves them); they are NOT
+ * persisted in the file, so a reopen renumbers from 1 in replay order
+ * (subscribers detect that through the `subscribed` reply's `latest`
+ * field and restart from 0).
+ *
+ * Retention contract: compact(keepRuns) rewrites the log keeping only
+ * each suite's newest keepRuns runs — to a temp file, fsync'd, then
+ * atomically rename(2)d over the log, so a crash at any point leaves
+ * either the old complete log (a stale temp is removed on the next
+ * open) or the new compacted one, never a mix. The active tail is
+ * never rewritten in place; appends resume on the new file. Queries
+ * over the kept runs answer byte-identically before and after.
  */
 
 #ifndef L0VLIW_STORE_EVENT_LOG_HH
@@ -39,6 +55,11 @@
 #include "common/result_sink.hh"
 #include "driver/retry.hh"
 #include "net/socket.hh"
+
+namespace l0vliw::json
+{
+class Value;
+}
 
 namespace l0vliw::store
 {
@@ -81,6 +102,21 @@ struct Event
      *  not a well-formed "cell" or "grid" event. */
     static bool decode(const std::string &line, Event &out,
                        std::string &error);
+
+    /** The same decode over an already-parsed document (how obs::
+     *  LiveGrid folds the event embedded in a subscription push). */
+    static bool decode(const json::Value &doc, Event &out,
+                       std::string &error);
+};
+
+/** One stored event as the subscription channel replays it: its
+ *  global sequence number plus the accepted line, verbatim. */
+struct StoredEvent
+{
+    std::uint64_t seq = 0;
+    std::string suite;
+    std::string run;
+    std::string line;
 };
 
 /** The slice of one ingested cell the queries need. */
@@ -175,6 +211,41 @@ class EventLog
     const RunInfo *latestRunAtRev(const std::string &suite,
                                   const std::string &rev) const;
 
+    // ---- the subscription/replay view ----
+
+    /** The sequence number of the newest stored event (0 = empty). */
+    std::uint64_t latestSeq() const { return seq_; }
+
+    /** Every retained event in sequence order (verbatim lines) —
+     *  what `subscribe ... from-seq N` replays. Invalidated by the
+     *  next ingest or compact. */
+    const std::vector<StoredEvent> &events() const { return events_; }
+
+    // ---- retention ----
+
+    /** What one compact() pass did. */
+    struct CompactStats
+    {
+        std::uint64_t keptEvents = 0;
+        std::uint64_t droppedEvents = 0;
+        std::uint64_t droppedRuns = 0;
+        std::uint64_t bytesBefore = 0;
+        std::uint64_t bytesAfter = 0;
+    };
+
+    /**
+     * Rewrite the log keeping only each suite's newest @p keepRuns
+     * runs (by latest-event sequence; @p keepRuns >= 1). Write order:
+     * kept lines go to "<path>.compact" in sequence order, fsync,
+     * rename over the log, then the index is rebuilt from the kept
+     * events with their original sequence numbers — latest-grid and
+     * diff answers over kept runs are byte-identical afterwards.
+     * Suite ingest counters are recomputed from the retained window
+     * (the `duplicates` counter restarts at 0). False + @p error on
+     * any I/O failure — the original log is intact in that case.
+     */
+    bool compact(int keepRuns, CompactStats &stats, std::string &error);
+
     // ---- global counters ----
 
     /** Events replayed from disk by open(). */
@@ -185,12 +256,16 @@ class EventLog
     std::uint64_t truncatedTail() const { return truncatedTail_; }
 
   private:
-    /** Index @p event; false means duplicate. */
-    bool index(const Event &event);
+    /** Index @p event; 0 means duplicate, otherwise the sequence
+     *  number assigned (@p forcedSeq != 0 pins it: how compact()
+     *  rebuilds the index without renumbering). */
+    std::uint64_t index(const Event &event, std::uint64_t forcedSeq = 0);
 
     net::Fd fd_;
+    std::string path_;
     std::vector<std::string> suiteOrder_;
     std::map<std::string, SuiteInfo> suites_;
+    std::vector<StoredEvent> events_; ///< retained lines, seq order
     std::uint64_t seq_ = 0;
     std::uint64_t replayed_ = 0;
     std::uint64_t malformed_ = 0;

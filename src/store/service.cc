@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "driver/executor.hh"
 
 namespace l0vliw::store
@@ -81,7 +82,32 @@ runLabel(const RunInfo &run)
     return run.rev + " (run " + run.run + ")";
 }
 
+/** One subscription push: the stored line spliced in verbatim (it is
+ *  itself a JSON object, so the frame stays one valid document). */
+std::string
+pushFrame(const StoredEvent &event)
+{
+    return "{\"event\":\"push\",\"seq\":" + std::to_string(event.seq)
+           + ",\"data\":" + event.line + "}";
+}
+
 } // namespace
+
+StoreService::~StoreService()
+{
+    // Normally empty by now: net::Server::stop() runs each
+    // connection's closed callback, which reaps its subscription.
+    // Belt and braces for a service torn down without a stop.
+    for (auto &kv : subscribers_) {
+        {
+            std::lock_guard<std::mutex> lock(kv.second->mutex);
+            kv.second->stop = true;
+        }
+        kv.second->cv.notify_all();
+        if (kv.second->writer.joinable())
+            kv.second->writer.join();
+    }
+}
 
 bool
 StoreService::open(const std::string &logPath, std::string &error)
@@ -99,6 +125,39 @@ StoreService::handleLine(const std::string &line)
     return handleQuery(line);
 }
 
+std::optional<std::string>
+StoreService::handleSessionLine(const std::string &line,
+                                net::Server::Peer &peer)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (liveConns_.insert(peer.id()).second && maxConnections_ > 0
+            && liveConns_.size()
+                   > static_cast<std::size_t>(maxConnections_)) {
+            // Reject, don't queue: a leak of idle subscribers must
+            // not starve ingest. The nack goes through Peer::send so
+            // it is on the wire before the close below.
+            std::string error;
+            peer.send("{\"event\":\"nack\",\"error\":"
+                          + json::quote("connection limit reached ("
+                                        + std::to_string(
+                                            maxConnections_)
+                                        + ")")
+                          + "}",
+                      error);
+            return std::nullopt; // closes the connection
+        }
+    }
+    if (line == driver::kCellPingLine)
+        return std::string(driver::kCellPongLine);
+    if (!line.empty() && line[0] == '{')
+        return handleIngest(line);
+    std::vector<std::string> words = splitWords(line);
+    if (!words.empty() && words[0] == "subscribe")
+        return handleSubscribe(words, peer);
+    return handleQuery(line);
+}
+
 std::string
 StoreService::handleIngest(const std::string &line)
 {
@@ -107,6 +166,16 @@ StoreService::handleIngest(const std::string &line)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         result = log_.ingest(line, error);
+        if (result == EventLog::Ingest::Stored) {
+            if (!subscribers_.empty()) {
+                const StoredEvent &event = log_.events().back();
+                std::string frame = pushFrame(event);
+                for (auto &kv : subscribers_)
+                    if (kv.second->suite == event.suite)
+                        enqueueLocked(*kv.second, frame, false);
+            }
+            maybeCompactLocked();
+        }
     }
     switch (result) {
     case EventLog::Ingest::Stored:
@@ -117,6 +186,150 @@ StoreService::handleIngest(const std::string &line)
         break;
     }
     return "{\"event\":\"nack\",\"error\":" + json::quote(error) + "}";
+}
+
+std::string
+StoreService::handleSubscribe(const std::vector<std::string> &words,
+                              net::Server::Peer &peer)
+{
+    std::uint64_t from = 0;
+    bool malformed = false;
+    if (words.size() == 4 && words[2] == "from-seq") {
+        char *end = nullptr;
+        from = std::strtoull(words[3].c_str(), &end, 10);
+        malformed = words[3].empty() || *end != '\0';
+    } else if (words.size() != 2) {
+        malformed = true;
+    }
+    if (malformed)
+        return errReply("usage: subscribe <suite> [from-seq N]");
+    const std::string &suiteName = words[1];
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (subscribers_.count(peer.id()) != 0)
+        return errReply("connection already subscribed");
+
+    // Every frame — handshake, replay, live feed — rides the outbox,
+    // so the writer's order *is* the protocol order: subscribed,
+    // events in sequence order, caught-up, then pushes as they land.
+    // A suite with no events yet is fine (the replay is just empty);
+    // that is how `watch` starts before the first publish.
+    auto sub = std::make_unique<Subscriber>();
+    sub->peer = peer;
+    sub->suite = suiteName;
+    std::uint64_t latest = log_.latestSeq();
+    enqueueLocked(*sub,
+                  "{\"event\":\"subscribed\",\"suite\":"
+                      + json::quote(suiteName)
+                      + ",\"from\":" + std::to_string(from)
+                      + ",\"latest\":" + std::to_string(latest) + "}",
+                  true);
+    for (const StoredEvent &event : log_.events())
+        if (event.suite == suiteName && event.seq >= from)
+            enqueueLocked(*sub, pushFrame(event), true);
+    enqueueLocked(*sub,
+                  "{\"event\":\"caught-up\",\"seq\":"
+                      + std::to_string(latest) + "}",
+                  true);
+    Subscriber *raw = sub.get();
+    sub->writer = std::thread([raw]() { writerLoop(raw); });
+    subscribers_[peer.id()] = std::move(sub);
+    return std::string(); // replied through the outbox, not directly
+}
+
+void
+StoreService::enqueueLocked(Subscriber &sub, std::string frame,
+                            bool initial)
+{
+    std::lock_guard<std::mutex> lock(sub.mutex);
+    if (sub.stop || sub.overflowed)
+        return;
+    if (!initial
+        && sub.outbox.size() >= static_cast<std::size_t>(outboxCap_)) {
+        // Slow consumer: disconnected, never waited for. close() also
+        // breaks a writer send blocked on the stalled socket loose;
+        // this path itself never blocks, which is the ingest-latency
+        // guarantee.
+        sub.overflowed = true;
+        sub.peer.close();
+        return;
+    }
+    sub.outbox.push_back(std::move(frame));
+    sub.cv.notify_one();
+}
+
+void
+StoreService::writerLoop(Subscriber *sub)
+{
+    std::string frame, error;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(sub->mutex);
+            sub->cv.wait(lock, [sub]() {
+                return sub->stop || !sub->outbox.empty();
+            });
+            if (sub->stop)
+                return; // pending frames die with the connection
+            frame = std::move(sub->outbox.front());
+            sub->outbox.pop_front();
+        }
+        if (!sub->peer.send(frame, error)) {
+            // Peer hung up (or the overflow close landed mid-send).
+            // Make sure the connection reader notices, then wait for
+            // the closed callback to flip stop — the Peer must stay
+            // untouched from here on.
+            sub->peer.close();
+            std::unique_lock<std::mutex> lock(sub->mutex);
+            sub->cv.wait(lock, [sub]() { return sub->stop; });
+            return;
+        }
+    }
+}
+
+void
+StoreService::connectionClosed(net::Server::Peer &peer)
+{
+    std::unique_ptr<Subscriber> sub;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        liveConns_.erase(peer.id());
+        auto it = subscribers_.find(peer.id());
+        if (it != subscribers_.end()) {
+            sub = std::move(it->second);
+            subscribers_.erase(it);
+        }
+    }
+    if (!sub)
+        return;
+    // Joined outside the store mutex: the writer never takes it, but
+    // ingest holds it while enqueueing and must not wait behind us.
+    {
+        std::lock_guard<std::mutex> lock(sub->mutex);
+        sub->stop = true;
+    }
+    sub->cv.notify_all();
+    sub->writer.join();
+}
+
+void
+StoreService::maybeCompactLocked()
+{
+    if (retainRuns_ == 0)
+        return;
+    bool over = false;
+    for (const auto &name : log_.suiteNames()) {
+        const SuiteInfo *info = log_.suite(name);
+        if (info != nullptr
+            && info->runs.size()
+                   > static_cast<std::size_t>(retainRuns_))
+            over = true;
+    }
+    if (!over)
+        return;
+    EventLog::CompactStats stats;
+    std::string error;
+    if (!log_.compact(retainRuns_, stats, error))
+        warn("auto-compaction failed: %s", error.c_str());
 }
 
 std::string
@@ -286,8 +499,34 @@ StoreService::handleQuery(const std::string &line)
         return okReply(0, renderAs(t, format));
     }
 
+    if (verb == "compact") {
+        if (words.size() != 2)
+            return errReply("usage: compact <keep-runs>");
+        char *end = nullptr;
+        long keep = std::strtol(words[1].c_str(), &end, 10);
+        if (words[1].empty() || *end != '\0' || keep < 1)
+            return errReply("bad keep-runs '" + words[1]
+                            + "' (want an integer >= 1)");
+        EventLog::CompactStats stats;
+        std::string error;
+        if (!log_.compact(static_cast<int>(keep), stats, error))
+            return errReply(error);
+        std::ostringstream text;
+        text << "compacted: kept " << stats.keptEvents
+             << " event(s), dropped " << stats.droppedEvents
+             << " event(s) across " << stats.droppedRuns << " run(s); "
+             << stats.bytesBefore << " -> " << stats.bytesAfter
+             << " bytes\n";
+        return okReply(0, text.str());
+    }
+
+    if (verb == "subscribe")
+        return errReply("subscribe requires a session-mode server "
+                        "(l0store --serve)");
+
     return errReply("unknown query '" + verb
-                    + "' (expected latest-grid|diff|runs|stats)");
+                    + "' (expected latest-grid|diff|runs|stats|"
+                      "compact)");
 }
 
 } // namespace l0vliw::store

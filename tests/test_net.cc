@@ -757,6 +757,126 @@ TEST(Server, StopUnblocksAndIsIdempotent)
         << err;
 }
 
+// ---- session mode: Peer pushes and the closed callback ----
+
+TEST(Server, SessionHandlerRepliesPushesAndDefers)
+{
+    net::Server server;
+    std::string err;
+    std::mutex closedMutex;
+    std::vector<std::uint64_t> closedIds;
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line, net::Server::Peer &peer)
+            -> std::optional<std::string> {
+            if (line == "push3") {
+                // The empty-reply convention: answered via send().
+                std::string sendErr;
+                for (int i = 0; i < 3; ++i)
+                    EXPECT_TRUE(peer.send(
+                        "pushed-" + std::to_string(i), sendErr))
+                        << sendErr;
+                return std::string();
+            }
+            if (line == "bye")
+                return std::nullopt;
+            return "echo:" + line + ":id"
+                   + std::to_string(peer.id());
+        },
+        [&](net::Server::Peer &peer) {
+            std::lock_guard<std::mutex> lock(closedMutex);
+            closedIds.push_back(peer.id());
+        },
+        err))
+        << err;
+
+    Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    LineReader reader(conn.get());
+    std::string reply;
+
+    ASSERT_TRUE(net::writeLine(conn.get(), "hello", err));
+    ASSERT_EQ(reader.readLine(reply, err, 2000),
+              LineReader::Status::Line);
+    EXPECT_EQ(reply, "echo:hello:id1");
+
+    // Pushed frames arrive in send order, no direct reply among them.
+    ASSERT_TRUE(net::writeLine(conn.get(), "push3", err));
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(reader.readLine(reply, err, 2000),
+                  LineReader::Status::Line);
+        EXPECT_EQ(reply, "pushed-" + std::to_string(i));
+    }
+
+    // And the connection still answers request/reply afterwards.
+    ASSERT_TRUE(net::writeLine(conn.get(), "again", err));
+    ASSERT_EQ(reader.readLine(reply, err, 2000),
+              LineReader::Status::Line);
+    EXPECT_EQ(reply, "echo:again:id1");
+
+    // nullopt still closes; the closed callback sees the same id.
+    ASSERT_TRUE(net::writeLine(conn.get(), "bye", err));
+    EXPECT_NE(reader.readLine(reply, err, 2000),
+              LineReader::Status::Line);
+    for (int i = 0; i < 100; ++i) {
+        {
+            std::lock_guard<std::mutex> lock(closedMutex);
+            if (!closedIds.empty())
+                break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    server.stop();
+    std::lock_guard<std::mutex> lock(closedMutex);
+    ASSERT_EQ(closedIds.size(), 1u);
+    EXPECT_EQ(closedIds[0], 1u);
+}
+
+TEST(Server, SessionPeerCloseWakesTheReader)
+{
+    net::Server server;
+    std::string err;
+    std::atomic<int> closed{0};
+    ASSERT_TRUE(server.start(
+        0,
+        [](const std::string &line, net::Server::Peer &peer)
+            -> std::optional<std::string> {
+            if (line == "kick") {
+                peer.close();
+                return std::string();
+            }
+            return "ok";
+        },
+        [&](net::Server::Peer &) { closed.fetch_add(1); }, err))
+        << err;
+
+    Fd conn = net::connectTcp("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    LineReader reader(conn.get());
+    ASSERT_TRUE(net::writeLine(conn.get(), "kick", err));
+    std::string reply;
+    EXPECT_NE(reader.readLine(reply, err, 2000),
+              LineReader::Status::Line);
+    server.stop();
+    EXPECT_EQ(closed.load(), 1);
+}
+
+TEST(Server, SessionModeRefusesPipelinedWorkers)
+{
+    // Pushes interleaving with out-of-order replies would be
+    // uncorrelatable; the combination is rejected at start().
+    net::Server server;
+    server.setWorkersPerConnection(4);
+    std::string err;
+    EXPECT_FALSE(server.start(
+        0,
+        [](const std::string &, net::Server::Peer &)
+            -> std::optional<std::string> { return "x"; },
+        nullptr, err));
+    EXPECT_NE(err.find("session"), std::string::npos);
+    EXPECT_FALSE(server.running());
+}
+
 // ---- the pipelined per-connection worker pool ----
 
 TEST(Server, PipelinedWorkersReplyOutOfOrder)

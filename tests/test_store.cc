@@ -5,14 +5,26 @@
  * idempotency, the query protocol, chaos ingest over a faulty
  * connection, and the loopback end-to-end contract — one stored event
  * per dispatched cell and a latest-grid answer byte-identical to the
- * driver's own table.
+ * driver's own table. Plus the observability surface underneath
+ * src/obs: sequence numbers and the retained-events view, compaction
+ * (byte-identity, crash safety, the query verb, --retain-runs), the
+ * subscription channel (replay + live push, the slow-subscriber
+ * disconnect, the max-connections nack), and the l0store client's
+ * transport-failure exit code.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -617,4 +629,524 @@ TEST(StoreEndToEnd, LoopbackPublishMatchesInProcessGrid)
 
     conn.reset();
     server.stop();
+}
+
+// ---- sequencing and the retained-events view ----
+
+namespace
+{
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0
+               ? static_cast<std::uint64_t>(st.st_size)
+               : 0;
+}
+
+} // namespace
+
+TEST(EventLogTest, SequenceNumbersAndRetainedEvents)
+{
+    TempLog log("seq");
+    std::vector<std::string> lines = {
+        cellLine("s", "rev1", "r1", 1, "b", "a1", true, 10),
+        cellLine("s", "rev1", "r1", 2, "b", "a2", true, 20),
+        gridLine("s", "rev1", "r1", sampleTable()),
+    };
+    {
+        EventLog store;
+        std::string error;
+        ASSERT_TRUE(store.open(log.path(), error)) << error;
+        EXPECT_EQ(store.latestSeq(), 0u);
+        for (const auto &line : lines)
+            ASSERT_EQ(store.ingest(line, error),
+                      EventLog::Ingest::Stored)
+                << error;
+        EXPECT_EQ(store.latestSeq(), 3u);
+
+        // The retained view: verbatim lines in sequence order, and a
+        // dedup-dropped resend neither bumps the counter nor appends.
+        ASSERT_EQ(store.events().size(), 3u);
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            EXPECT_EQ(store.events()[i].seq, i + 1);
+            EXPECT_EQ(store.events()[i].line, lines[i]);
+            EXPECT_EQ(store.events()[i].suite, "s");
+            EXPECT_EQ(store.events()[i].run, "r1");
+        }
+        EXPECT_EQ(store.ingest(lines[0], error),
+                  EventLog::Ingest::Duplicate);
+        EXPECT_EQ(store.latestSeq(), 3u);
+        EXPECT_EQ(store.events().size(), 3u);
+    }
+
+    // Sequence numbers are not persisted: a reopen renumbers from 1
+    // in replay order, which reproduces them exactly for an intact
+    // log.
+    EventLog reopened;
+    std::string error;
+    ASSERT_TRUE(reopened.open(log.path(), error)) << error;
+    EXPECT_EQ(reopened.latestSeq(), 3u);
+    ASSERT_EQ(reopened.events().size(), 3u);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(reopened.events()[i].seq, i + 1);
+        EXPECT_EQ(reopened.events()[i].line, lines[i]);
+    }
+}
+
+// ---- retention / compaction ----
+
+TEST(EventLogTest, CompactKeepsNewestRunsByteIdentically)
+{
+    TempLog log("compact");
+    EventLog store;
+    std::string error;
+    ASSERT_TRUE(store.open(log.path(), error)) << error;
+
+    // Three runs in "s" (each with a distinct grid), one in "t".
+    for (int r = 1; r <= 3; ++r) {
+        std::string run = "r" + std::to_string(r);
+        for (int c = 1; c <= 2; ++c)
+            ASSERT_EQ(store.ingest(cellLine("s", "rev" + run, run, c,
+                                            "b", "a" + std::to_string(c),
+                                            true, 100 * r + c),
+                                   error),
+                      EventLog::Ingest::Stored);
+        ResultTable table = sampleTable();
+        table.title = "grid of " + run + "\n";
+        ASSERT_EQ(store.ingest(gridLine("s", "rev" + run, run, table),
+                               error),
+                  EventLog::Ingest::Stored);
+    }
+    ASSERT_EQ(store.ingest(cellLine("t", "revT", "rt", 1, "b", "a",
+                                    true, 7),
+                           error),
+              EventLog::Ingest::Stored);
+
+    const std::uint64_t seqBefore = store.latestSeq();
+    const std::uint64_t sizeBefore = fileSize(log.path());
+    const std::string gridBefore =
+        renderText(store.latestRun("s")->grid);
+    std::vector<std::uint64_t> keptSeqs;
+    for (const auto &event : store.events())
+        if (event.suite == "t" || event.run != "r1")
+            keptSeqs.push_back(event.seq);
+
+    EventLog::CompactStats stats;
+    ASSERT_TRUE(store.compact(2, stats, error)) << error;
+    EXPECT_EQ(stats.droppedRuns, 1u);  // s/r1
+    EXPECT_EQ(stats.droppedEvents, 3u);
+    EXPECT_EQ(stats.keptEvents, 7u);
+    EXPECT_LT(stats.bytesAfter, stats.bytesBefore);
+    EXPECT_EQ(stats.bytesBefore, sizeBefore);
+    EXPECT_EQ(fileSize(log.path()), stats.bytesAfter);
+
+    // Sequence numbers of the kept events are preserved — a live
+    // subscriber's resume coordinate survives compaction.
+    EXPECT_EQ(store.latestSeq(), seqBefore);
+    ASSERT_EQ(store.events().size(), keptSeqs.size());
+    for (std::size_t i = 0; i < keptSeqs.size(); ++i)
+        EXPECT_EQ(store.events()[i].seq, keptSeqs[i]);
+
+    // Queries over the kept runs answer byte-identically; the
+    // dropped run is gone.
+    const store::SuiteInfo *info = store.suite("s");
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->runs.size(), 2u);
+    EXPECT_EQ(info->findRun("r1"), nullptr);
+    EXPECT_EQ(renderText(store.latestRun("s")->grid), gridBefore);
+    ASSERT_NE(store.latestRun("t"), nullptr);
+
+    // Appends resume on the new file, and a reopen replays exactly
+    // the kept events plus the new one.
+    ASSERT_EQ(store.ingest(cellLine("s", "revr3", "r3", 9, "b", "a9",
+                                    true, 999),
+                           error),
+              EventLog::Ingest::Stored);
+    EventLog reopened;
+    ASSERT_TRUE(reopened.open(log.path(), error)) << error;
+    EXPECT_EQ(reopened.replayed(), stats.keptEvents + 1);
+    EXPECT_EQ(reopened.malformed(), 0u);
+    EXPECT_EQ(renderText(reopened.latestRun("s")->grid), gridBefore);
+}
+
+TEST(EventLogTest, CompactCrashSafetyStaleTempIgnored)
+{
+    // A crash after writing the temp but before the rename: the next
+    // open must serve the *old* complete log — the temp is garbage —
+    // and remove it so a later compact starts clean.
+    TempLog log("crashsafe");
+    const std::string temp = log.path() + ".compact";
+    std::vector<std::string> lines = {
+        cellLine("s", "rev1", "r1", 1, "b", "a1", true, 10),
+        cellLine("s", "rev1", "r2", 1, "b", "a1", true, 20),
+    };
+    {
+        std::ofstream out(log.path());
+        for (const auto &line : lines)
+            out << line << "\n";
+        // The interrupted compaction: a subset, torn mid-line.
+        std::ofstream tmp(temp);
+        tmp << lines[1] << "\n";
+        tmp << lines[1].substr(0, 25);
+    }
+
+    EventLog store;
+    std::string error;
+    ASSERT_TRUE(store.open(log.path(), error)) << error;
+    EXPECT_NE(::access(temp.c_str(), F_OK), 0)
+        << "stale compaction temp not removed";
+    // Zero lost events: the uncompacted log is what counts.
+    EXPECT_EQ(store.replayed(), 2u);
+    EXPECT_EQ(store.truncatedTail(), 0u);
+    const store::SuiteInfo *info = store.suite("s");
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->runs.size(), 2u);
+    std::remove(temp.c_str());
+}
+
+TEST(StoreServiceTest, CompactQueryVerbAndRetainRuns)
+{
+    TempLog log("compactverb");
+    StoreService service;
+    service.setRetainRuns(2);
+    std::string error;
+    ASSERT_TRUE(service.open(log.path(), error)) << error;
+
+    ResultTable table = sampleTable();
+    for (int r = 1; r <= 3; ++r) {
+        std::string run = "r" + std::to_string(r);
+        service.handleLine(cellLine("s", "rev" + run, run, 1, "b", "a",
+                                    true, 100 * r));
+        service.handleLine(gridLine("s", "rev" + run, run, table));
+    }
+    // --retain-runs auto-compacted down to 2 as the third run landed.
+    const store::SuiteInfo *info = service.log().suite("s");
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->runs.size(), 2u);
+    EXPECT_EQ(info->findRun("r1"), nullptr);
+
+    bool ok;
+    int exit;
+    std::string text, queryError;
+    parseReply(*service.handleLine("latest-grid s"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok) << queryError;
+    const std::string gridBefore = text;
+
+    // The query verb compacts further; latest-grid stays identical.
+    parseReply(*service.handleLine("compact 1"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(exit, 0);
+    EXPECT_NE(text.find("compacted: kept"), std::string::npos);
+    EXPECT_EQ(service.log().suite("s")->runs.size(), 1u);
+    parseReply(*service.handleLine("latest-grid s"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(text, gridBefore);
+
+    // Argument validation, and subscribe needs a session connection.
+    parseReply(*service.handleLine("compact 0"), ok, exit, text,
+               queryError);
+    EXPECT_FALSE(ok);
+    parseReply(*service.handleLine("compact"), ok, exit, text,
+               queryError);
+    EXPECT_FALSE(ok);
+    parseReply(*service.handleLine("subscribe s"), ok, exit, text,
+               queryError);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(queryError.find("session"), std::string::npos);
+}
+
+// ---- the subscription channel ----
+
+namespace
+{
+
+/** Read one subscription frame and parse it (fails the test on a
+ *  non-line status or malformed JSON). */
+json::Value
+readFrame(net::LineReader &reader, int deadlineMs = 5000)
+{
+    std::string line, error;
+    EXPECT_EQ(reader.readLine(line, error, deadlineMs),
+              net::LineReader::Status::Line)
+        << error;
+    std::optional<json::Value> doc = json::parse(line, &error);
+    EXPECT_TRUE(doc.has_value()) << error << ": " << line;
+    return doc.value_or(json::Value());
+}
+
+std::string
+frameEvent(const json::Value &doc)
+{
+    const json::Value *event = doc.find("event");
+    return event != nullptr && event->isString() ? event->str()
+                                                 : std::string();
+}
+
+} // namespace
+
+TEST(StoreServiceTest, SubscribeReplaysThenPushesLive)
+{
+    TempLog log("subscribe");
+    StoreService service;
+    std::string error;
+    ASSERT_TRUE(service.open(log.path(), error)) << error;
+    net::Server server;
+    ASSERT_TRUE(server.start(0, service.sessionHandler(),
+                             service.closedHandler(), error))
+        << error;
+
+    // Two events stored before anyone subscribes...
+    std::vector<std::string> lines = {
+        cellLine("s", "rev1", "r1", 1, "b", "a1", true, 10),
+        cellLine("s", "rev1", "r1", 2, "b", "a2", true, 20),
+    };
+    net::Fd pub = net::connectTcp("127.0.0.1", server.port(), error);
+    ASSERT_TRUE(pub.valid()) << error;
+    net::LineReader pubReader(pub.get());
+    std::string reply;
+    for (const auto &line : lines) {
+        ASSERT_TRUE(net::writeLine(pub.get(), line, error)) << error;
+        ASSERT_EQ(pubReader.readLine(reply, error, 5000),
+                  net::LineReader::Status::Line);
+        EXPECT_EQ(reply, "{\"event\":\"ack\",\"stored\":true}");
+    }
+
+    // ...are replayed in order inside the handshake.
+    net::Fd sub = net::connectTcp("127.0.0.1", server.port(), error);
+    ASSERT_TRUE(sub.valid()) << error;
+    net::LineReader subReader(sub.get());
+    ASSERT_TRUE(net::writeLine(sub.get(), "subscribe s", error));
+    json::Value doc = readFrame(subReader);
+    EXPECT_EQ(frameEvent(doc), "subscribed");
+    EXPECT_EQ(doc.find("suite")->str(), "s");
+    EXPECT_EQ(doc.find("latest")->asI64(), 2);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        doc = readFrame(subReader);
+        EXPECT_EQ(frameEvent(doc), "push");
+        EXPECT_EQ(doc.find("seq")->asI64(),
+                  static_cast<std::int64_t>(i + 1));
+        // The stored line rides spliced in verbatim.
+        const json::Value *data = doc.find("data");
+        ASSERT_NE(data, nullptr);
+        EXPECT_EQ(data->find("bench")->str(), "b");
+    }
+    doc = readFrame(subReader);
+    EXPECT_EQ(frameEvent(doc), "caught-up");
+    EXPECT_EQ(doc.find("seq")->asI64(), 2);
+
+    // A newly-ingested event for the suite arrives as a live push;
+    // one for another suite does not.
+    ASSERT_TRUE(net::writeLine(
+        pub.get(), cellLine("other", "rev1", "r1", 1, "b", "a", true, 5),
+        error));
+    ASSERT_EQ(pubReader.readLine(reply, error, 5000),
+              net::LineReader::Status::Line);
+    ASSERT_TRUE(net::writeLine(
+        pub.get(), cellLine("s", "rev1", "r1", 3, "b", "a3", true, 30),
+        error));
+    ASSERT_EQ(pubReader.readLine(reply, error, 5000),
+              net::LineReader::Status::Line);
+    doc = readFrame(subReader);
+    EXPECT_EQ(frameEvent(doc), "push");
+    EXPECT_EQ(doc.find("seq")->asI64(), 4);
+    EXPECT_EQ(doc.find("data")->find("arch")->str(), "a3");
+
+    // A second subscribe on the same connection is refused.
+    ASSERT_TRUE(net::writeLine(sub.get(), "subscribe s", error));
+    doc = readFrame(subReader);
+    EXPECT_FALSE(doc.find("ok")->boolean());
+
+    // Resume: `from-seq` replays only the suffix.
+    net::Fd resume = net::connectTcp("127.0.0.1", server.port(), error);
+    ASSERT_TRUE(resume.valid()) << error;
+    net::LineReader resumeReader(resume.get());
+    ASSERT_TRUE(net::writeLine(resume.get(), "subscribe s from-seq 4",
+                               error));
+    doc = readFrame(resumeReader);
+    EXPECT_EQ(frameEvent(doc), "subscribed");
+    EXPECT_EQ(doc.find("from")->asI64(), 4);
+    doc = readFrame(resumeReader);
+    EXPECT_EQ(frameEvent(doc), "push");
+    EXPECT_EQ(doc.find("seq")->asI64(), 4);
+    doc = readFrame(resumeReader);
+    EXPECT_EQ(frameEvent(doc), "caught-up");
+
+    resume.reset();
+    sub.reset();
+    pub.reset();
+    server.stop();
+}
+
+TEST(StoreServiceTest, SlowSubscriberIsDisconnectedNotBlockingIngest)
+{
+    TempLog log("slowsub");
+    StoreService service;
+    // A tiny live-feed bound so the stall surfaces quickly.
+    service.setOutboxCap(8);
+    std::string error;
+    ASSERT_TRUE(service.open(log.path(), error)) << error;
+    net::Server server;
+    ASSERT_TRUE(server.start(0, service.sessionHandler(),
+                             service.closedHandler(), error))
+        << error;
+
+    // The stalled subscriber: a socket with a tiny receive buffer
+    // (set before connect, so the advertised window stays small) that
+    // subscribes and then never reads. Kernel buffers absorb the
+    // first frames; after that the writer blocks and the outbox
+    // fills.
+    int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(raw, 0);
+    int rcvbuf = 4096;
+    ASSERT_EQ(::setsockopt(raw, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                           sizeof(rcvbuf)),
+              0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    net::Fd sub(raw);
+    ASSERT_TRUE(net::writeLine(sub.get(), "subscribe slow", error));
+
+    // Publish fat events (a ~16 KiB pad the tolerant decoder ignores)
+    // and demand a prompt ack for every one: if the fanout ever
+    // waited on the stalled subscriber, an ack would stall with it.
+    // The backlog must beat the kernel, not just the outbox: with the
+    // subscriber not reading, loopback TCP still buffers ~3 MiB (the
+    // sender's sndbuf autotunes to 4 MiB however small the peer's
+    // window is), so push ~7.5 MiB to guarantee the writer blocks and
+    // the live feed overruns the bound.
+    constexpr int kEvents = 480;
+    net::Fd pub = net::connectTcp("127.0.0.1", server.port(), error);
+    ASSERT_TRUE(pub.valid()) << error;
+    net::LineReader pubReader(pub.get());
+    const std::string pad(16000, 'x');
+    std::string reply;
+    for (int i = 0; i < kEvents; ++i) {
+        std::string line = cellLine("slow", "rev1", "r1",
+                                    static_cast<std::uint64_t>(i + 1),
+                                    "b", "a" + std::to_string(i), true,
+                                    100);
+        line.insert(line.size() - 1, ",\"pad\":\"" + pad + "\"");
+        ASSERT_TRUE(net::writeLine(pub.get(), line, error)) << error;
+        auto start = std::chrono::steady_clock::now();
+        ASSERT_EQ(pubReader.readLine(reply, error, 5000),
+                  net::LineReader::Status::Line)
+            << "ack " << i << " stalled: " << error;
+        EXPECT_EQ(reply, "{\"event\":\"ack\",\"stored\":true}");
+        EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count(),
+                  2000)
+            << "ack " << i << " was not prompt";
+    }
+
+    // And the slow consumer was disconnected, not waited for: its
+    // stream ends (after whatever the kernel buffered) instead of
+    // carrying all the pushes.
+    net::LineReader subReader(sub.get());
+    int frames = 0;
+    net::LineReader::Status status;
+    for (;;) {
+        std::string line;
+        status = subReader.readLine(line, error, 10000);
+        if (status != net::LineReader::Status::Line)
+            break;
+        ++frames;
+        ASSERT_LT(frames, kEvents + 2) << "subscriber was never cut "
+                                          "off";
+    }
+    EXPECT_NE(status, net::LineReader::Status::Timeout);
+    EXPECT_LT(frames, kEvents + 2); // a buffered prefix, not all
+
+    sub.reset();
+    pub.reset();
+    server.stop();
+}
+
+TEST(StoreServiceTest, MaxConnectionsRejectsWithNack)
+{
+    TempLog log("maxconns");
+    StoreService service;
+    service.setMaxConnections(1);
+    std::string error;
+    ASSERT_TRUE(service.open(log.path(), error)) << error;
+    net::Server server;
+    ASSERT_TRUE(server.start(0, service.sessionHandler(),
+                             service.closedHandler(), error))
+        << error;
+
+    // The first connection takes the slot...
+    net::Fd first = net::connectTcp("127.0.0.1", server.port(), error);
+    ASSERT_TRUE(first.valid()) << error;
+    net::LineReader firstReader(first.get());
+    std::string reply;
+    ASSERT_TRUE(net::writeLine(first.get(), driver::kCellPingLine,
+                               error));
+    ASSERT_EQ(firstReader.readLine(reply, error, 5000),
+              net::LineReader::Status::Line);
+    EXPECT_EQ(reply, driver::kCellPongLine);
+
+    // ...the second is told why and closed (reject, don't queue).
+    net::Fd second = net::connectTcp("127.0.0.1", server.port(), error);
+    ASSERT_TRUE(second.valid()) << error;
+    net::LineReader secondReader(second.get());
+    ASSERT_TRUE(net::writeLine(second.get(), driver::kCellPingLine,
+                               error));
+    ASSERT_EQ(secondReader.readLine(reply, error, 5000),
+              net::LineReader::Status::Line);
+    EXPECT_NE(reply.find("\"event\":\"nack\""), std::string::npos);
+    EXPECT_NE(reply.find("connection limit reached (1)"),
+              std::string::npos);
+    EXPECT_EQ(secondReader.readLine(reply, error, 5000),
+              net::LineReader::Status::Eof);
+
+    // Closing the first frees the slot (the closed callback runs
+    // asynchronously; retry until it has).
+    first.reset();
+    bool freed = false;
+    for (int i = 0; i < 100 && !freed; ++i) {
+        net::Fd retry = net::connectTcp("127.0.0.1", server.port(),
+                                        error);
+        ASSERT_TRUE(retry.valid()) << error;
+        net::LineReader retryReader(retry.get());
+        ASSERT_TRUE(net::writeLine(retry.get(), driver::kCellPingLine,
+                                   error));
+        ASSERT_EQ(retryReader.readLine(reply, error, 5000),
+                  net::LineReader::Status::Line);
+        freed = reply == driver::kCellPongLine;
+        retry.reset();
+        if (!freed)
+            usleep(10000);
+    }
+    EXPECT_TRUE(freed);
+    server.stop();
+}
+
+// ---- the client's transport-failure exit code ----
+
+TEST(QueryCliTest, DeadEndpointExitsTwo)
+{
+    // src/store/README.md: exit 2 is reserved for transport/protocol
+    // failure, distinct from a diff verdict (1) — what lets CI tell
+    // "store unreachable" from "regression found". Port 1 on loopback
+    // refuses the connect.
+    int rc = std::system(L0STORE_BIN
+                         " query 127.0.0.1:1 stats >/dev/null 2>&1");
+    ASSERT_TRUE(WIFEXITED(rc));
+    EXPECT_EQ(WEXITSTATUS(rc), 2);
+
+    // A malformed endpoint fails the same way, before any socket.
+    rc = std::system(L0STORE_BIN
+                     " query not-an-endpoint stats >/dev/null 2>&1");
+    ASSERT_TRUE(WIFEXITED(rc));
+    EXPECT_EQ(WEXITSTATUS(rc), 2);
 }
