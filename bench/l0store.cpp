@@ -11,6 +11,7 @@
  *   l0store query 127.0.0.1:4100 diff fig7 <rev-a> <rev-b> 10
  *   l0store query 127.0.0.1:4100 runs fig7
  *   l0store query 127.0.0.1:4100 stats
+ *   l0store query 127.0.0.1:4100 metrics prom  # Prometheus scrape
  *   l0store watch 127.0.0.1:4100 fig7          # live TUI
  *   l0store watch 127.0.0.1:4100 fig7 --once   # one snapshot
  *   l0store compact 127.0.0.1:4100 50          # keep 50 runs/suite
@@ -74,6 +75,8 @@ usage(int exit)
         "       l0store query <host:port> runs <suite> [fmt]\n"
         "       l0store query <host:port> stats [fmt]\n"
         "       l0store query <host:port> compact <keep-runs>\n"
+        "       l0store query <host:port> metrics "
+        "[prom|table|csv|json]\n"
         "       l0store watch <host:port> <suite> [--once] "
         "[--html FILE] [--for SECONDS] [--no-ansi]\n"
         "       l0store compact <host:port> <keep-runs>\n"

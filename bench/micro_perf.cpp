@@ -22,6 +22,7 @@
 #include "machine/machine_config.hh"
 #include "mem/l0_buffer.hh"
 #include "mem/mem_system.hh"
+#include "metrics/registry.hh"
 #include "sched/scheduler.hh"
 #include "sim/kernel_plan.hh"
 #include "sim/kernel_sim.hh"
@@ -166,6 +167,40 @@ BM_KernelSimPlanReused(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_KernelSimPlanReused)->Arg(0)->Arg(1);
+
+/**
+ * The instrumentation itself: one counter increment and one histogram
+ * record, the two operations invariant 10 promises stay off the locks
+ * and the allocator. These are the per-frame / per-access costs every
+ * instrumented hot path pays, so they must price in nanoseconds.
+ */
+void
+BM_MetricsCounterInc(benchmark::State &state)
+{
+    metrics::Counter &c = metrics::counter(
+        "bench_metrics_counter_total", "micro_perf scratch counter");
+    for (auto _ : state)
+        c.inc();
+    benchmark::DoNotOptimize(c.value());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void
+BM_MetricsHistogramRecord(benchmark::State &state)
+{
+    metrics::Histogram &h = metrics::histogram(
+        "bench_metrics_histogram_us", "micro_perf scratch histogram");
+    std::uint64_t v = 1;
+    for (auto _ : state) {
+        h.record(v);
+        // Walk the value across buckets so the clz path, not one hot
+        // cache line, is what gets measured.
+        v = v >= (1ULL << 20) ? 1 : v << 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
 
 /**
  * The experiment engine end to end: a 4-benchmark x 4-architecture

@@ -204,6 +204,8 @@ parseCli(int argc, char **argv)
             opts.degrade =
                 parseDegradeMode(valueOf(i, arg, "--degrade"));
             opts.degradeExplicit = true;
+        } else if (matches(arg, "--trace")) {
+            opts.trace = valueOf(i, arg, "--trace");
         } else if (matches(arg, "--fault-inject")) {
             std::string spec = valueOf(i, arg, "--fault-inject");
             std::string error;
@@ -228,7 +230,7 @@ parseCli(int argc, char **argv)
                 "          [--rev=REV] [--run-id=ID]\n"
                 "          [--cell-timeout-ms=N] [--window=N]\n"
                 "          [--degrade=fail|local]\n"
-                "          [--fault-inject=<spec>]\n"
+                "          [--fault-inject=<spec>] [--trace=<file>]\n"
                 "          [--format=table|csv|json] [--list]\n"
                 "          [--serve=<port>]\n"
                 "          [positional args]\n",
@@ -282,6 +284,12 @@ CliOptions::exec() const
     e.cellTimeoutMs = cellTimeoutMs;
     e.window = window;
     e.degrade = degrade;
+    if (!trace.empty()) {
+        if (traceRecorder_ == nullptr)
+            traceRecorder_ =
+                std::make_shared<metrics::TraceRecorder>();
+        e.trace = traceRecorder_.get();
+    }
     // --connect without the tcp backend would run the suite locally
     // while *looking* distributed — a silently wrong measurement.
     // (The L0VLIW_CONNECT env default is exempt: it is ambient.)
@@ -368,6 +376,15 @@ runSuiteMain(ExperimentSpec spec, const CliOptions &cli)
     if (std::shared_ptr<OutcomeStream> store = cli.publishSink())
         store->writeGrid(table);
     makeSink(cli.format)->write(table);
+    if (std::shared_ptr<metrics::TraceRecorder> rec =
+            cli.traceRecorder()) {
+        std::string error;
+        if (!rec->writeFile(cli.trace, error))
+            fatal("--trace: %s", error.c_str());
+        inform("trace: %zu span(s) written to %s (load in Perfetto "
+               "or chrome://tracing)",
+               rec->spans().size(), cli.trace.c_str());
+    }
     return 0;
 }
 

@@ -56,6 +56,12 @@
  *                       seed=7,delay=0..50ms@0.2,drop@0.05); also
  *                       exported to spawned workers via the
  *                       L0VLIW_FAULT_INJECT environment
+ *   --trace=<file>      record every dispatched cell's span chain
+ *                       (enqueue -> cell -> wire-write -> plan-build/
+ *                       execute -> fold, keyed by wire job id) and
+ *                       write the run as Chrome trace-event JSON on
+ *                       exit — loadable in Perfetto or chrome://
+ *                       tracing (see src/metrics/trace.hh)
  *   --format=table|csv|json   output sink (default: table)
  *   --list              print every registered architecture and
  *                       workload label (plus the parametric grammars)
@@ -85,6 +91,7 @@
 #include "common/result_sink.hh"
 #include "driver/executor.hh"
 #include "driver/suite.hh"
+#include "metrics/trace.hh"
 
 namespace l0vliw::driver
 {
@@ -121,6 +128,8 @@ struct CliOptions
     DegradeMode degrade = DegradeMode::Fail;
     /** True when --degrade was given (it only applies to tcp). */
     bool degradeExplicit = false;
+    /** --trace output file ("" = no tracing). */
+    std::string trace;
     SinkFormat format = SinkFormat::Table;
     std::vector<std::string> positional;
 
@@ -144,10 +153,20 @@ struct CliOptions
         return publishSink_;
     }
 
+    /** The --trace span recorder exec() created (null without
+     *  --trace) — runSuiteMain writes its file after the run. */
+    std::shared_ptr<metrics::TraceRecorder> traceRecorder() const
+    {
+        return traceRecorder_;
+    }
+
   private:
     /** Cached by exec() so the grid frame rides the same connection
      *  (and run identity) as the cell events. */
     mutable std::shared_ptr<OutcomeStream> publishSink_;
+    /** Cached by exec() so repeated exec() calls share one trace and
+     *  the recorder outlives the ExecOptions copies pointing at it. */
+    mutable std::shared_ptr<metrics::TraceRecorder> traceRecorder_;
 };
 
 /** Parse argv (fatal on unknown --flags; --help prints usage). */

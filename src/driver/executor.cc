@@ -21,6 +21,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "driver/registry.hh"
+#include "metrics/registry.hh"
+#include "metrics/trace.hh"
 #include "net/framing.hh"
 #include "net/server.hh"
 #include "net/socket.hh"
@@ -290,6 +292,8 @@ CellOutcome::toJson() const
     if (reason != FailReason::None)
         out += ",\"reason\":" + json::quote(failReasonName(reason));
     out += ",\"attempts\":" + std::to_string(attempts);
+    out += ",\"execUs\":" + json::fromDouble(execUs);
+    out += ",\"planUs\":" + json::fromDouble(planUs);
     out += ",\"run\":";
     appendBenchmarkRun(out, run);
     out += '}';
@@ -329,6 +333,12 @@ CellOutcome::fromJson(const std::string &text, CellOutcome &out,
         out.attempts = attempts->isNumber()
                            ? static_cast<int>(attempts->asI64())
                            : 1;
+    // Same tolerance for the daemon-side span timings: a pre-timing
+    // peer's frames simply decode to 0 and the trace omits the spans.
+    if (const json::Value *v = doc->find("execUs"))
+        out.execUs = v->isNumber() ? v->asDouble() : 0;
+    if (const json::Value *v = doc->find("planUs"))
+        out.planUs = v->isNumber() ? v->asDouble() : 0;
     const json::Value *run = doc->find("run");
     if (run == nullptr) {
         error = "missing field 'run'";
@@ -342,6 +352,7 @@ CellOutcome::fromJson(const std::string &text, CellOutcome &out,
 CellOutcome
 executeCellJob(const CellJob &job)
 {
+    auto t0 = std::chrono::steady_clock::now();
     CellOutcome out;
     out.id = job.id;
 
@@ -366,9 +377,26 @@ executeCellJob(const CellJob &job)
     }
     out.reason = FailReason::None;
 
+    auto planStart = std::chrono::steady_clock::now();
     auto plans = buildLoopPlans(*bench, *arch, job.unrolls);
+    auto planEnd = std::chrono::steady_clock::now();
     out.run = runCell(*bench, *arch, job.unrolls, plans, &job.baseline);
     out.ok = true;
+    // The executing side's own span timings ride back in the outcome
+    // frame (no shared clock with the client; see CellOutcome).
+    auto end = std::chrono::steady_clock::now();
+    out.execUs =
+        std::chrono::duration<double, std::micro>(end - t0).count();
+    out.planUs =
+        std::chrono::duration<double, std::micro>(planEnd - planStart)
+            .count();
+    {
+        static metrics::Counter &cells = metrics::counter(
+            "l0vliw_driver_cells_executed_total",
+            "Cell jobs executed by this process (any backend; a "
+            "daemon counts the cells it serves)");
+        cells.inc();
+    }
     return out;
 }
 
@@ -382,17 +410,139 @@ using ExecClock = std::chrono::steady_clock;
 /** Mixes pool-thread ordinals into distinct backoff-jitter seeds. */
 constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
 
-/** Fire ExecOptions.onOutcome for a finished job, when set. */
+/** Retry charges by the failure that caused them — the labeled,
+ *  monotone mirror of the executors' Stats::retries. Remote charges
+ *  count at the failure that finalizes them, not at redispatch (the
+ *  teardown path refunds non-head dispatch charges, and a Prometheus
+ *  counter cannot go down). */
+metrics::Counter &
+retryCounter(FailReason reason)
+{
+    static constexpr const char *kHelp =
+        "Cell attempts charged beyond the first, by the transport "
+        "failure that caused the retry";
+    switch (reason) {
+      case FailReason::Timeout: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_driver_retries_total{reason=\"timeout\"}", kHelp);
+        return c;
+      }
+      case FailReason::WorkerCrash: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_driver_retries_total{reason=\"worker-crash\"}",
+            kHelp);
+        return c;
+      }
+      case FailReason::FrameCorrupt: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_driver_retries_total{reason=\"frame-corrupt\"}",
+            kHelp);
+        return c;
+      }
+      case FailReason::ConnReset: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_driver_retries_total{reason=\"conn-reset\"}", kHelp);
+        return c;
+      }
+      case FailReason::JobError: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_driver_retries_total{reason=\"job-error\"}", kHelp);
+        return c;
+      }
+      default: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_driver_retries_total{reason=\"none\"}", kHelp);
+        return c;
+      }
+    }
+}
+
+/** The executors' deadline/heartbeat expiries (Stats::timeouts). */
+metrics::Counter &
+deadlineTimeouts()
+{
+    static metrics::Counter &c = metrics::counter(
+        "l0vliw_driver_deadline_timeouts_total",
+        "Cell deadline and heartbeat expiries observed by executors");
+    return c;
+}
+
+/**
+ * Per-finished-job bookkeeping shared by every backend: the per-cell
+ * wall-time histogram, the cell/execute/plan-build trace spans, and
+ * the ExecOptions.onOutcome callback. @p start is the job's first
+ * dispatch — a retried or handed-off job's wall time covers every
+ * burned attempt.
+ */
 void
 emitOutcomeEvent(const ExecOptions &opts, const CellJob &job,
                  const CellOutcome &outcome, ExecClock::time_point start)
 {
-    if (!opts.onOutcome)
-        return;
+    ExecClock::time_point end = ExecClock::now();
     double wallMs =
-        std::chrono::duration<double, std::milli>(ExecClock::now() - start)
-            .count();
-    opts.onOutcome(job, outcome, wallMs);
+        std::chrono::duration<double, std::milli>(end - start).count();
+    {
+        static metrics::Histogram &h = metrics::histogram(
+            "l0vliw_driver_cell_wall_us",
+            "Per-cell wall time from first dispatch to final outcome, "
+            "microseconds");
+        h.record(static_cast<std::uint64_t>(wallMs * 1000.0));
+    }
+    if (opts.trace != nullptr) {
+        double endUs = opts.trace->sinceUs(end);
+        metrics::TraceSpan cell;
+        cell.job = job.id;
+        cell.name = "cell";
+        cell.cat = "driver";
+        cell.tsUs = opts.trace->sinceUs(start);
+        cell.durUs = endUs - cell.tsUs;
+        cell.args = {{"bench", job.bench},
+                     {"arch", job.arch},
+                     {"ok", outcome.ok ? "true" : "false"},
+                     {"attempts", std::to_string(outcome.attempts)}};
+        if (!outcome.ok && outcome.reason != FailReason::None)
+            cell.args.emplace_back("reason",
+                                   failReasonName(outcome.reason));
+        opts.trace->record(std::move(cell));
+        if (outcome.execUs > 0) {
+            // The executing side has no shared clock: anchor its
+            // self-measured spans to end when the reply landed here.
+            metrics::TraceSpan exec;
+            exec.job = job.id;
+            exec.name = "execute";
+            exec.cat = "worker";
+            exec.tsUs = endUs - outcome.execUs;
+            exec.durUs = outcome.execUs;
+            opts.trace->record(std::move(exec));
+            if (outcome.planUs > 0) {
+                metrics::TraceSpan plan;
+                plan.job = job.id;
+                plan.name = "plan-build";
+                plan.cat = "worker";
+                plan.tsUs = endUs - outcome.execUs;
+                plan.durUs = outcome.planUs;
+                opts.trace->record(std::move(plan));
+            }
+        }
+    }
+    if (opts.onOutcome)
+        opts.onOutcome(job, outcome, wallMs);
+}
+
+/** A successful wire write of job @p id becomes one trace span. */
+void
+recordWireWrite(const ExecOptions &opts, std::uint64_t id,
+                const char *cat, ExecClock::time_point start)
+{
+    if (opts.trace == nullptr)
+        return;
+    metrics::TraceSpan span;
+    span.job = id;
+    span.name = "wire-write";
+    span.cat = cat;
+    span.tsUs = opts.trace->sinceUs(start);
+    span.durUs = opts.trace->nowUs() - span.tsUs;
+    opts.trace->record(std::move(span));
 }
 
 /** Run @p work on min(jobs, tasks) threads (<= 1 runs inline). Every
@@ -739,6 +889,7 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
             for (; attempt <= policy.maxAttempts && !done; ++attempt) {
                 if (attempt > 1) {
                     retries.fetch_add(1);
+                    retryCounter(lastReason).inc();
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(
                             policy.backoffMs(attempt - 1, rng)));
@@ -757,6 +908,7 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
                 }
 
                 std::string err;
+                ExecClock::time_point writeStart = ExecClock::now();
                 if (!net::writeLine(child.toChild.get(), line, err)) {
                     lastError =
                         "worker died before accepting the job: " + err;
@@ -764,6 +916,8 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
                     closeChild(child);
                     continue;
                 }
+                recordWireWrite(opts_, jobs[i].id, "subprocess",
+                                writeStart);
 
                 std::string reply;
                 net::LineReader::Status status =
@@ -773,6 +927,7 @@ SubprocessExecutor::execute(const std::vector<CellJob> &jobs)
                     // wedged (or the cell is pathological either way);
                     // SIGKILL it and let the next attempt respawn.
                     timeouts.fetch_add(1);
+                    deadlineTimeouts().inc();
                     lastError = "worker exceeded the "
                                 + std::to_string(deadlineMs)
                                 + "ms cell deadline (killed)";
@@ -885,6 +1040,7 @@ struct RemoteQueue
           total_(total),
           active_(threads)
     {
+        publishDepthLocked();
     }
 
     enum class Wait
@@ -952,6 +1108,7 @@ struct RemoteQueue
     {
         std::lock_guard<std::mutex> lock(mutex_);
         requeued_.push_back(i);
+        publishDepthLocked();
         --working_;
         cv_.notify_all();
     }
@@ -977,6 +1134,7 @@ struct RemoteQueue
         --active_;
         ++reroutes_[i];
         requeued_.push_back(i);
+        publishDepthLocked();
         --working_;
         cv_.notify_all();
         return true;
@@ -990,15 +1148,30 @@ struct RemoteQueue
             i = requeued_.back();
             requeued_.pop_back();
             ++working_;
+            publishDepthLocked();
             return true;
         }
         if (nextIdx_ < total_) {
             i = nextIdx_++;
             ++working_;
             firstDispatch_[i] = ExecClock::now();
+            publishDepthLocked();
             return true;
         }
         return false;
+    }
+
+    /** Live unclaimed-depth gauge (mutex held; the gauge store itself
+     *  is lock-free, so this adds no lock to any reader). */
+    void
+    publishDepthLocked()
+    {
+        static metrics::Gauge &depth = metrics::gauge(
+            "l0vliw_driver_queue_depth",
+            "Cell jobs in the remote executor's shared queue, not yet "
+            "claimed by an endpoint");
+        depth.set(static_cast<std::int64_t>(total_ - nextIdx_
+                                            + requeued_.size()));
     }
 
     std::mutex mutex_;
@@ -1030,6 +1203,27 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
     const int heartbeatMs = effectiveHeartbeatMs(opts_);
     const int window = effectiveWindow(opts_);
     std::vector<int> perEndpoint(opts_.endpoints.size(), 0);
+
+    // The live-gauge view of Stats: per-endpoint outcome totals and
+    // windowed in-flight depth, registered once per endpoint index up
+    // front so the per-reply updates are lock-free gauge stores.
+    metrics::Registry &registry = metrics::Registry::global();
+    std::vector<metrics::Gauge *> epJobs(opts_.endpoints.size());
+    std::vector<metrics::Gauge *> epInflight(opts_.endpoints.size());
+    for (std::size_t e = 0; e < opts_.endpoints.size(); ++e) {
+        std::string label = "{endpoint=\"" + std::to_string(e) + "\"}";
+        epJobs[e] = &registry.gauge(
+            "l0vliw_driver_jobs_per_endpoint" + label,
+            "Final outcomes each endpoint produced (the live view of "
+            "Stats::jobsPerEndpoint, by endpoint index)");
+        epInflight[e] = &registry.gauge(
+            "l0vliw_driver_inflight" + label,
+            "Jobs currently windowed on each endpoint's connection");
+    }
+    metrics::Gauge &maxInFlightGauge = registry.gauge(
+        "l0vliw_driver_max_inflight",
+        "Peak windowed jobs observed on any one connection (the live "
+        "view of Stats::maxInFlight)");
 
     // Jobs only the in-process fallback can still resolve (--degrade
     // local): every endpoint permanently failed them.
@@ -1081,8 +1275,10 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
         // attempt, exactly as if it had been dispatched and lost.
         auto chargeAll = [&]() {
             for (std::size_t i : pending)
-                if (++attempts[i] > 1)
+                if (++attempts[i] > 1) {
                     retries.fetch_add(1);
+                    retryCounter(lastReason).inc();
+                }
         };
         // The wire broke with jobs in flight: re-queue every one of
         // them locally. Exactly one job pays the attempt — the head
@@ -1098,9 +1294,16 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
             conn.reset();
             ++cycleFails;
             std::uint64_t headSeq = ~std::uint64_t{0};
-            if (!refundHead)
+            if (!refundHead) {
                 for (const auto &kv : inflight)
                     headSeq = std::min(headSeq, kv.second.seq);
+                // The head-of-line charge is the one this failure
+                // makes final — attribute it now (the monotone
+                // counter cannot mirror the dispatch-time charge and
+                // its refunds).
+                if (!inflight.empty())
+                    retryCounter(lastReason).inc();
+            }
             for (const auto &kv : inflight) {
                 if (kv.second.seq != headSeq
                     && --attempts[kv.second.job] >= 1)
@@ -1108,11 +1311,19 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                 pending.push_back(kv.second.job);
             }
             inflight.clear();
+            epInflight[index]->set(0);
         };
         // Ping/pong on an otherwise quiet channel; false means the
         // caller resets the connection.
         auto probe = [&]() -> bool {
             std::string err;
+            {
+                static metrics::Counter &pings = metrics::counter(
+                    "l0vliw_driver_heartbeats_total{type=\"ping\"}",
+                    "Heartbeat probes: pings sent by clients, pongs "
+                    "answered by executing sides");
+                pings.inc();
+            }
             if (!net::writeLine(conn.get(), kCellPingLine, err)) {
                 lastError = "ping write failed: " + err;
                 lastReason = FailReason::ConnReset;
@@ -1123,6 +1334,7 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                 reader.readLine(pong, err, heartbeatMs);
             if (st == net::LineReader::Status::Timeout) {
                 timeouts.fetch_add(1);
+                deadlineTimeouts().inc();
                 lastError = "daemon silent: no pong within "
                             + std::to_string(heartbeatMs) + "ms";
                 lastReason = FailReason::Timeout;
@@ -1229,8 +1441,21 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                 }
                 reader.reset(conn.get());
                 connects.fetch_add(1);
-                if (everConnected)
+                {
+                    static metrics::Counter &c = metrics::counter(
+                        "l0vliw_driver_connects_total",
+                        "Daemon connections established (initial and "
+                        "re-established)");
+                    c.inc();
+                }
+                if (everConnected) {
                     reconnects.fetch_add(1);
+                    static metrics::Counter &c = metrics::counter(
+                        "l0vliw_driver_reconnects_total",
+                        "Daemon connections re-established after a "
+                        "drop");
+                    c.inc();
+                }
                 everConnected = true;
                 if (heartbeatMs > 0 && !probe()) {
                     // A fresh connection proves it serves the
@@ -1253,6 +1478,7 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                     if (++attempts[i] > 1)
                         retries.fetch_add(1);
                     std::string err;
+                    ExecClock::time_point writeStart = ExecClock::now();
                     if (!net::writeLine(conn.get(), jobs[i].toJson(),
                                         err)) {
                         lastError = "daemon dropped before accepting "
@@ -1264,10 +1490,14 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                         wireOk = false;
                         break;
                     }
+                    recordWireWrite(opts_, jobs[i].id, "tcp",
+                                    writeStart);
                     pending.pop_back();
                     inflight[jobs[i].id] = {i, ExecClock::now(),
                                             nextSeq++};
                     int depth = static_cast<int>(inflight.size());
+                    epInflight[index]->set(depth);
+                    maxInFlightGauge.max(depth);
                     int seen = maxInFlight.load();
                     while (depth > seen
                            && !maxInFlight.compare_exchange_weak(seen,
@@ -1296,6 +1526,7 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                 remainingMs = deadlineMs - static_cast<int>(age);
                 if (remainingMs <= 0) {
                     timeouts.fetch_add(1);
+                    deadlineTimeouts().inc();
                     lastError = "cell exceeded the "
                                 + std::to_string(deadlineMs)
                                 + "ms deadline";
@@ -1313,6 +1544,7 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
                 // connection goes too — every in-flight job re-queues
                 // and pays its next attempt on redispatch.
                 timeouts.fetch_add(1);
+                deadlineTimeouts().inc();
                 lastError = "cell exceeded the "
                             + std::to_string(deadlineMs)
                             + "ms deadline";
@@ -1360,12 +1592,14 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
             }
             std::size_t i = it->second.job;
             inflight.erase(it);
+            epInflight[index]->set(static_cast<int>(inflight.size()));
             cycleFails = 0;
             result.attempts = attempts[i];
             outcomes[i] = std::move(result);
             emitOutcomeEvent(opts_, jobs[i], outcomes[i],
                              queue.firstDispatch(i));
             perEndpoint[index] += 1;
+            epJobs[index]->add(1);
             queue.finish();
         }
         // Closing the connection tells the daemon this stream is done.
@@ -1395,10 +1629,18 @@ RemoteExecutor::execute(const std::vector<CellJob> &jobs)
         warn("all %zu endpoint(s) failed; running %zu remaining "
              "cell(s) in-process (--degrade local)",
              opts_.endpoints.size(), degraded.size());
+        {
+            static metrics::Counter &c = metrics::counter(
+                "l0vliw_driver_degraded_jobs_total",
+                "Cells drained in-process after every endpoint "
+                "permanently failed (--degrade local)");
+            c.inc(degraded.size());
+        }
         ExecOptions localOpts;
         localOpts.backend = ExecBackend::InProcess;
         localOpts.jobs = opts_.jobs;
         localOpts.onOutcome = opts_.onOutcome;
+        localOpts.trace = opts_.trace;
         std::vector<CellJob> localJobs;
         localJobs.reserve(degraded.size());
         for (std::size_t i : degraded)
@@ -1435,8 +1677,35 @@ const char *const kCellPongLine = "{\"event\":\"pong\"}";
 std::string
 handleCellLine(const std::string &line)
 {
-    if (line == kCellPingLine)
+    if (line == kCellPingLine) {
+        static metrics::Counter &pongs = metrics::counter(
+            "l0vliw_driver_heartbeats_total{type=\"pong\"}",
+            "Heartbeat probes: pings sent by clients, pongs answered "
+            "by executing sides");
+        pongs.inc();
         return kCellPongLine;
+    }
+    // The metrics query verb: a plain-word line (the store protocol's
+    // request shape) whose first word is "metrics" — what lets
+    // `l0store query host:port metrics prom` scrape a cell daemon with
+    // the same client that scrapes the store. Only an exact word match
+    // diverts: injected corruption flips a frame byte to a control
+    // character (net/fault.cc), so a mangled job can never alias this
+    // and chaos runs keep their id-0 corrupted-frame sentinel.
+    if (!line.empty() && line[0] != '{') {
+        std::vector<std::string> words;
+        std::size_t pos = 0;
+        while (pos < line.size()) {
+            std::size_t space = line.find(' ', pos);
+            if (space == std::string::npos)
+                space = line.size();
+            if (space > pos)
+                words.push_back(line.substr(pos, space - pos));
+            pos = space + 1;
+        }
+        if (!words.empty() && words[0] == "metrics")
+            return metrics::metricsQueryReply(words);
+    }
     CellJob job;
     std::string err;
     CellOutcome outcome;

@@ -67,6 +67,11 @@
 #include "net/framing.hh"
 #include "net/socket.hh"
 
+namespace l0vliw::metrics
+{
+class TraceRecorder;
+}
+
 namespace l0vliw::driver
 {
 
@@ -173,6 +178,13 @@ struct ExecOptions
     DegradeMode degrade = DegradeMode::Fail;
     /** Fires once per job with its final outcome; see CellEventFn. */
     CellEventFn onOutcome;
+    /**
+     * When set (the drivers' --trace), every backend records the
+     * per-cell span chain here — enqueue, cell, wire-write, plan-build,
+     * execute, fold — keyed by wire job id (metrics/trace.hh). The
+     * recorder must outlive the executor run. Not owned.
+     */
+    metrics::TraceRecorder *trace = nullptr;
 };
 
 /** One serializable unit of grid work. */
@@ -204,6 +216,16 @@ struct CellOutcome
     FailReason reason = FailReason::None;
     /** Transport attempts the final outcome cost (1 = first try). */
     int attempts = 1;
+    /**
+     * Daemon-side span timings, measured by executeCellJob on the
+     * executing side and ridden back inside the outcome frame so a
+     * client trace covers both sides of the wire without a shared
+     * clock: total execute wall time and the plan-build slice of it,
+     * both in microseconds. 0 on frames from pre-timing peers
+     * (decoded tolerantly, like reason/attempts).
+     */
+    double execUs = 0;
+    double planUs = 0;
     BenchmarkRun run; ///< the full aggregated cell run
 
     std::string toJson() const;

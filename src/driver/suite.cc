@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "driver/executor.hh"
+#include "metrics/trace.hh"
 #include "workloads/registry.hh"
 
 namespace l0vliw::driver
@@ -199,6 +200,20 @@ Suite::run(const ExecOptions &exec) const
         cellOf.push_back(i);
     }
 
+    // The head of each job's span chain: a zero-duration "enqueue"
+    // mark on the job's trace lane, stamped before the executor sees
+    // the batch.
+    if (exec.trace != nullptr)
+        for (const CellJob &job : jobs) {
+            metrics::TraceSpan span;
+            span.job = job.id;
+            span.name = "enqueue";
+            span.cat = "driver";
+            span.tsUs = exec.trace->nowUs();
+            span.args = {{"bench", job.bench}, {"arch", job.arch}};
+            exec.trace->record(std::move(span));
+        }
+
     std::vector<CellOutcome> outcomes;
     if (!jobs.empty())
         outcomes = makeExecutor(exec)->execute(jobs);
@@ -216,9 +231,22 @@ Suite::run(const ExecOptions &exec) const
         if (!outcomes[j].ok)
             fatal("suite cell %s/%s: %s", jobs[j].bench.c_str(),
                   jobs[j].arch.c_str(), outcomes[j].error.c_str());
+        double foldStart =
+            exec.trace != nullptr ? exec.trace->nowUs() : 0;
         Cell cell;
         cell.run = std::move(outcomes[j].run);
         finishCell(cellOf[j], std::move(cell));
+        if (exec.trace != nullptr) {
+            // The tail of the chain: the outcome folding back into
+            // the grid.
+            metrics::TraceSpan span;
+            span.job = jobs[j].id;
+            span.name = "fold";
+            span.cat = "driver";
+            span.tsUs = foldStart;
+            span.durUs = exec.trace->nowUs() - foldStart;
+            exec.trace->record(std::move(span));
+        }
     }
     for (std::size_t i = 0; i < nb * na; ++i) {
         if (archs[i % na].label != "unified")

@@ -1,0 +1,262 @@
+#include "metrics/registry.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace l0vliw::metrics
+{
+
+namespace detail
+{
+
+unsigned
+threadShard()
+{
+    static std::atomic<unsigned> nextSlot{0};
+    static thread_local const unsigned slot =
+        nextSlot.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+} // namespace detail
+
+std::uint64_t
+Histogram::count() const noexcept
+{
+    std::uint64_t total = 0;
+    for (const auto &b : buckets_)
+        total += b.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Histogram::reset() noexcept
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry &
+Registry::global()
+{
+    // Leaked on purpose: instrumentation handles are function-local
+    // statics in every layer, and their destruction order against this
+    // object is unknowable. A process-lifetime registry has no exit
+    // teardown to get wrong.
+    static Registry *instance = new Registry();
+    return *instance;
+}
+
+Registry::Entry &
+Registry::findOrCreate(const std::string &name, const std::string &help,
+                       Type type)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = byName_.find(name);
+    if (it != byName_.end()) {
+        if (it->second->type != type)
+            fatal("metric '%s' registered twice with different types",
+                  name.c_str());
+        return *it->second;
+    }
+    entries_.emplace_back();
+    Entry &entry = entries_.back();
+    entry.type = type;
+    entry.name = name;
+    entry.base = name.substr(0, name.find('{'));
+    entry.help = help;
+    byName_[name] = &entry;
+    return entry;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help)
+{
+    return findOrCreate(name, help, Type::Counter).counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help)
+{
+    return findOrCreate(name, help, Type::Gauge).gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help)
+{
+    return findOrCreate(name, help, Type::Histogram).histogram;
+}
+
+namespace
+{
+
+const char *
+typeName(bool counter, bool histogram)
+{
+    return histogram ? "histogram" : counter ? "counter" : "gauge";
+}
+
+/** Splice extra labels into a series name that may already carry a
+ *  label set: f(`a{x="y"}`, `le="4"`) -> `a{x="y",le="4"}`. */
+std::string
+withLabel(const std::string &name, const std::string &label)
+{
+    std::size_t brace = name.find('{');
+    if (brace == std::string::npos)
+        return name + "{" + label + "}";
+    std::string out = name;
+    out.insert(name.size() - 1, "," + label);
+    return out;
+}
+
+} // namespace
+
+std::string
+Registry::renderProm() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    std::string lastBase;
+    for (const Entry &entry : entries_) {
+        // Series registered back to back share their base name's
+        // HELP/TYPE header (the labeled-family case); a base that
+        // reappears later simply re-emits it, which scrapers accept.
+        if (entry.base != lastBase) {
+            out << "# HELP " << entry.base << ' ' << entry.help << '\n';
+            out << "# TYPE " << entry.base << ' '
+                << typeName(entry.type == Type::Counter,
+                            entry.type == Type::Histogram)
+                << '\n';
+            lastBase = entry.base;
+        }
+        switch (entry.type) {
+        case Type::Counter:
+            out << entry.name << ' ' << entry.counter.value() << '\n';
+            break;
+        case Type::Gauge:
+            out << entry.name << ' ' << entry.gauge.value() << '\n';
+            break;
+        case Type::Histogram: {
+            std::uint64_t cumulative = 0;
+            for (int b = 0; b < Histogram::kBuckets - 1; ++b) {
+                cumulative += entry.histogram.bucket(b);
+                out << withLabel(entry.name + "_bucket",
+                                 "le=\"" + std::to_string(1ULL << b)
+                                     + "\"")
+                    << ' ' << cumulative << '\n';
+            }
+            cumulative +=
+                entry.histogram.bucket(Histogram::kBuckets - 1);
+            out << withLabel(entry.name + "_bucket", "le=\"+Inf\"")
+                << ' ' << cumulative << '\n';
+            out << entry.name << "_sum " << entry.histogram.sum()
+                << '\n';
+            out << entry.name << "_count " << cumulative << '\n';
+            break;
+        }
+        }
+    }
+    return out.str();
+}
+
+ResultTable
+Registry::renderTable() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ResultTable t;
+    t.title = "process metrics\n";
+    t.header = {"metric", "type", "value"};
+    for (const Entry &entry : entries_) {
+        switch (entry.type) {
+        case Type::Counter:
+            t.rows.push_back({CellValue::text(entry.name),
+                              CellValue::text("counter"),
+                              CellValue::integer(entry.counter.value())});
+            break;
+        case Type::Gauge:
+            t.rows.push_back(
+                {CellValue::text(entry.name), CellValue::text("gauge"),
+                 CellValue::fixed(
+                     static_cast<double>(entry.gauge.value()), 0)});
+            break;
+        case Type::Histogram: {
+            std::uint64_t count = entry.histogram.count();
+            std::uint64_t sum = entry.histogram.sum();
+            t.rows.push_back({CellValue::text(entry.name + "_count"),
+                              CellValue::text("histogram"),
+                              CellValue::integer(count)});
+            t.rows.push_back({CellValue::text(entry.name + "_sum"),
+                              CellValue::text("histogram"),
+                              CellValue::integer(sum)});
+            t.rows.push_back(
+                {CellValue::text(entry.name + "_mean"),
+                 CellValue::text("histogram"),
+                 CellValue::fixed(count == 0 ? 0.0
+                                             : static_cast<double>(sum)
+                                                   / static_cast<double>(
+                                                       count),
+                                  1)});
+            break;
+        }
+        }
+    }
+    return t;
+}
+
+void
+Registry::resetAllForTest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry &entry : entries_) {
+        entry.counter.reset();
+        entry.gauge.reset();
+        entry.histogram.reset();
+    }
+}
+
+Counter &
+counter(const char *name, const char *help)
+{
+    return Registry::global().counter(name, help);
+}
+
+Gauge &
+gauge(const char *name, const char *help)
+{
+    return Registry::global().gauge(name, help);
+}
+
+Histogram &
+histogram(const char *name, const char *help)
+{
+    return Registry::global().histogram(name, help);
+}
+
+std::string
+metricsQueryReply(const std::vector<std::string> &words)
+{
+    auto err = [](const std::string &error) {
+        return "{\"ok\":false,\"error\":" + json::quote(error) + "}";
+    };
+    if (words.empty() || words[0] != "metrics" || words.size() > 2)
+        return err("usage: metrics [prom|table|csv|json]");
+    std::string format = words.size() == 2 ? words[1] : "prom";
+    std::string text;
+    if (format == "prom")
+        text = Registry::global().renderProm();
+    else if (format == "table")
+        text = renderText(Registry::global().renderTable());
+    else if (format == "csv")
+        text = renderCsv(Registry::global().renderTable());
+    else if (format == "json")
+        text = renderJson(Registry::global().renderTable());
+    else
+        return err("unknown metrics format '" + format
+                   + "' (expected prom|table|csv|json)");
+    return "{\"ok\":true,\"exit\":0,\"text\":" + json::quote(text) + "}";
+}
+
+} // namespace l0vliw::metrics

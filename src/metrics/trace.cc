@@ -1,0 +1,68 @@
+#include "metrics/trace.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/json.hh"
+
+namespace l0vliw::metrics
+{
+
+std::vector<TraceSpan>
+TraceRecorder::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::string
+TraceRecorder::toChromeJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceSpan &span : spans_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":" + json::quote(span.name);
+        out += ",\"cat\":" + json::quote(span.cat);
+        out += ",\"ph\":\"X\"";
+        out += ",\"ts\":" + json::fromDouble(span.tsUs);
+        out += ",\"dur\":" + json::fromDouble(span.durUs);
+        out += ",\"pid\":1,\"tid\":" + std::to_string(span.job);
+        out += ",\"args\":{";
+        bool firstArg = true;
+        for (const auto &kv : span.args) {
+            if (!firstArg)
+                out += ',';
+            firstArg = false;
+            out += json::quote(kv.first) + ":" + json::quote(kv.second);
+        }
+        out += "}}";
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+bool
+TraceRecorder::writeFile(const std::string &path,
+                         std::string &error) const
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        error = path + ": " + std::strerror(errno);
+        return false;
+    }
+    std::string text = toChromeJson();
+    bool ok = std::fwrite(text.data(), 1, text.size(), out)
+                  == text.size()
+              && std::fputc('\n', out) != EOF;
+    ok = std::fclose(out) == 0 && ok;
+    if (!ok)
+        error = path + ": short write";
+    return ok;
+}
+
+} // namespace l0vliw::metrics

@@ -12,9 +12,61 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 
 namespace l0vliw::net
 {
+
+namespace
+{
+
+/** Count a drawn (non-None) fault by kind. Handles resolve once; the
+ *  per-draw cost is one relaxed add under FaultPlan's existing lock. */
+void
+countFault(FaultAction::Kind kind)
+{
+    switch (kind) {
+      case FaultAction::Kind::Reset: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_net_faults_injected_total{kind=\"reset\"}",
+            "Injected fault actions drawn by the active fault plan");
+        c.inc();
+        break;
+      }
+      case FaultAction::Kind::Drop: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_net_faults_injected_total{kind=\"drop\"}",
+            "Injected fault actions drawn by the active fault plan");
+        c.inc();
+        break;
+      }
+      case FaultAction::Kind::Corrupt: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_net_faults_injected_total{kind=\"corrupt\"}",
+            "Injected fault actions drawn by the active fault plan");
+        c.inc();
+        break;
+      }
+      case FaultAction::Kind::Stall: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_net_faults_injected_total{kind=\"stall\"}",
+            "Injected fault actions drawn by the active fault plan");
+        c.inc();
+        break;
+      }
+      case FaultAction::Kind::Delay: {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_net_faults_injected_total{kind=\"delay\"}",
+            "Injected fault actions drawn by the active fault plan");
+        c.inc();
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+} // namespace
 
 namespace
 {
@@ -227,6 +279,7 @@ FaultPlan::next(FaultOp op)
         action.delayMs = static_cast<int>(
             rng_.range(spec_.delayMinMs, spec_.delayMaxMs));
     }
+    countFault(action.kind);
     return action;
 }
 

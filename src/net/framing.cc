@@ -2,10 +2,68 @@
 
 #include <chrono>
 
+#include "metrics/registry.hh"
 #include "net/fault.hh"
 
 namespace l0vliw::net
 {
+
+namespace
+{
+
+// Every transport (pipes, TCP, the publisher channel) frames through
+// these two functions, so this is the one seam that sees all wire
+// traffic. Handles resolve once (cold registry lock), then each frame
+// costs two relaxed atomic adds — invariant 10: no lock, no
+// allocation on the per-frame path.
+metrics::Counter &
+framesIn()
+{
+    static metrics::Counter &c = metrics::counter(
+        "l0vliw_net_frames_total{dir=\"in\"}",
+        "Newline-delimited frames read or written by this process");
+    return c;
+}
+
+metrics::Counter &
+framesOut()
+{
+    static metrics::Counter &c = metrics::counter(
+        "l0vliw_net_frames_total{dir=\"out\"}",
+        "Newline-delimited frames read or written by this process");
+    return c;
+}
+
+metrics::Counter &
+bytesIn()
+{
+    static metrics::Counter &c = metrics::counter(
+        "l0vliw_net_bytes_total{dir=\"in\"}",
+        "Frame bytes read or written by this process (terminators "
+        "included)");
+    return c;
+}
+
+metrics::Counter &
+bytesOut()
+{
+    static metrics::Counter &c = metrics::counter(
+        "l0vliw_net_bytes_total{dir=\"out\"}",
+        "Frame bytes read or written by this process (terminators "
+        "included)");
+    return c;
+}
+
+metrics::Counter &
+readTimeouts()
+{
+    static metrics::Counter &c = metrics::counter(
+        "l0vliw_net_read_timeouts_total",
+        "Framed reads that expired their deadline");
+    return c;
+}
+
+} // namespace
 
 LineReader::Status
 LineReader::readLine(std::string &out, std::string &error,
@@ -27,6 +85,8 @@ LineReader::readLine(std::string &out, std::string &error,
             out.assign(buf_, 0, nl);
             buf_.erase(0, nl + 1);
             scanned_ = 0;
+            framesIn().inc();
+            bytesIn().inc(static_cast<std::uint64_t>(nl) + 1);
             return Status::Line;
         }
         // No terminator yet (or one past the bound): an over-long
@@ -63,6 +123,7 @@ LineReader::readLine(std::string &out, std::string &error,
         if (timedOut) {
             // Partial bytes stay buffered: the frame is merely late,
             // and a retried read with a fresh budget may complete it.
+            readTimeouts().inc();
             return Status::Timeout;
         }
         if (n == 0) {
@@ -87,7 +148,11 @@ writeLine(int fd, const std::string &line, std::string &error)
     frame += '\n';
     std::shared_ptr<FaultPlan> plan = activeFaultPlan();
     FaultyStream stream(fd, plan.get());
-    return stream.writeAll(frame.data(), frame.size(), error);
+    if (!stream.writeAll(frame.data(), frame.size(), error))
+        return false;
+    framesOut().inc();
+    bytesOut().inc(frame.size());
+    return true;
 }
 
 } // namespace l0vliw::net

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/json.hh"
+#include "metrics/registry.hh"
 #include "store/event_log.hh"
 
 namespace l0vliw::obs
@@ -84,6 +85,13 @@ LiveGrid::applyFrame(const std::string &line, std::string &error)
     }
     if (seq > lastSeq_)
         lastSeq_ = seq;
+    {
+        static metrics::Counter &folded = metrics::counter(
+            "l0vliw_obs_events_folded_total",
+            "Store push events folded into live grids (duplicates "
+            "already dropped)");
+        folded.inc();
+    }
 
     LiveRun &run = runFor(event.run, event.rev);
     if (seq > run.seq)

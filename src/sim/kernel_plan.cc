@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "mem/l0_system.hh"
+#include "metrics/registry.hh"
 #include "sim/address.hh"
 
 namespace l0vliw::sim
@@ -149,6 +150,13 @@ initialCursor(const detail::AddrGen &g)
 
 KernelPlan::KernelPlan(const sched::Schedule &schedule) : sched_(schedule)
 {
+    {
+        static metrics::Counter &builds = metrics::counter(
+            "l0vliw_sim_plan_builds_total",
+            "KernelPlans compiled from schedules (one per loop per "
+            "cell execution)");
+        builds.inc();
+    }
     const ir::Loop &loop = sched_.loop;
     const int n = loop.numOps();
     const int ii = sched_.ii;
@@ -424,6 +432,13 @@ KernelPlan::run(mem::MemSystem &mem, std::uint64_t trips,
                 Cycle start_cycle, const SimOptions &opts)
 {
     InvocationResult out;
+    {
+        static metrics::Counter &runs = metrics::counter(
+            "l0vliw_sim_plan_runs_total",
+            "Compiled-plan invocations (a plan builds once and runs "
+            "once per loop invocation)");
+        runs.inc();
+    }
     if (trips == 0)
         return out;
 

@@ -10,9 +10,26 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 
 namespace l0vliw::store
 {
+
+namespace
+{
+
+/** Live size of the log file (the `metrics` verb's view; the `stats`
+ *  query reports the same number from EventLog::bytes()). */
+metrics::Gauge &
+logBytesGauge()
+{
+    static metrics::Gauge &g = metrics::gauge(
+        "l0vliw_store_log_bytes",
+        "Current size of the event log file in bytes");
+    return g;
+}
+
+} // namespace
 
 // ---- event decoding ----
 
@@ -212,20 +229,35 @@ EventLog::open(const std::string &path, std::string &error)
         error = path + ": lseek: " + std::strerror(errno);
         return false;
     }
+    bytes_ = keep;
+    logBytesGauge().set(static_cast<std::int64_t>(bytes_));
     return true;
 }
 
 EventLog::Ingest
 EventLog::ingest(const std::string &line, std::string &error)
 {
+    static metrics::Counter &stored = metrics::counter(
+        "l0vliw_store_ingest_total{result=\"stored\"}",
+        "Published frames ingested, by what ingesting did");
+    static metrics::Counter &duplicates = metrics::counter(
+        "l0vliw_store_ingest_total{result=\"duplicate\"}",
+        "Published frames ingested, by what ingesting did");
+    static metrics::Counter &malformed = metrics::counter(
+        "l0vliw_store_ingest_total{result=\"malformed\"}",
+        "Published frames ingested, by what ingesting did");
     Event event;
     if (!Event::decode(line, event, error)) {
         ++malformed_;
+        malformed.inc();
         return Ingest::Malformed;
     }
     std::uint64_t seq = index(event);
-    if (seq == 0)
+    if (seq == 0) {
+        duplicates.inc();
         return Ingest::Duplicate;
+    }
+    stored.inc();
     events_.push_back({seq, event.suite, event.run, line});
 
     // One write per line: a crash between events loses nothing, a
@@ -247,6 +279,8 @@ EventLog::ingest(const std::string &line, std::string &error)
         }
         off += static_cast<std::size_t>(n);
     }
+    bytes_ += framed.size();
+    logBytesGauge().set(static_cast<std::int64_t>(bytes_));
     return Ingest::Stored;
 }
 
@@ -416,6 +450,15 @@ EventLog::compact(int keepRuns, CompactStats &stats, std::string &error)
             continue; // cannot happen: the line was ingested once
         if (index(decoded, event.seq) != 0)
             events_.push_back(std::move(event));
+    }
+    bytes_ = stats.bytesAfter;
+    logBytesGauge().set(static_cast<std::int64_t>(bytes_));
+    ++compactions_;
+    {
+        static metrics::Counter &c = metrics::counter(
+            "l0vliw_store_compactions_total",
+            "Retention compaction passes completed");
+        c.inc();
     }
     return true;
 }

@@ -254,6 +254,18 @@ class EventLog
     std::uint64_t malformed() const { return malformed_; }
     /** Bytes of torn final line dropped by open() (0 = clean). */
     std::uint64_t truncatedTail() const { return truncatedTail_; }
+    /** Current log file size in bytes (kept lines + live appends). */
+    std::uint64_t bytes() const { return bytes_; }
+    /** compact() passes completed over this log's lifetime. */
+    std::uint64_t compactions() const { return compactions_; }
+    /** The oldest retained event's sequence number (0 = empty log);
+     *  with latestSeq(), the global seq range the `stats` query
+     *  reports. */
+    std::uint64_t
+    firstSeq() const
+    {
+        return events_.empty() ? 0 : events_.front().seq;
+    }
 
   private:
     /** Index @p event; 0 means duplicate, otherwise the sequence
@@ -270,6 +282,8 @@ class EventLog
     std::uint64_t replayed_ = 0;
     std::uint64_t malformed_ = 0;
     std::uint64_t truncatedTail_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t compactions_ = 0;
 };
 
 } // namespace l0vliw::store

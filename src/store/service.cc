@@ -7,6 +7,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "driver/executor.hh"
+#include "metrics/registry.hh"
 
 namespace l0vliw::store
 {
@@ -252,9 +253,18 @@ StoreService::enqueueLocked(Subscriber &sub, std::string frame,
         // guarantee.
         sub.overflowed = true;
         sub.peer.close();
+        static metrics::Counter &overflows = metrics::counter(
+            "l0vliw_store_subscriber_disconnects_total{cause=\""
+            "overflow\"}",
+            "Subscriber connections closed by the store");
+        overflows.inc();
         return;
     }
     sub.outbox.push_back(std::move(frame));
+    static metrics::Gauge &depth = metrics::gauge(
+        "l0vliw_store_outbox_depth",
+        "Frames queued to the most recently pushed-to subscriber");
+    depth.set(static_cast<std::int64_t>(sub.outbox.size()));
     sub.cv.notify_one();
 }
 
@@ -306,6 +316,13 @@ StoreService::connectionClosed(net::Server::Peer &peer)
     {
         std::lock_guard<std::mutex> lock(sub->mutex);
         sub->stop = true;
+        if (!sub->overflowed) { // overflow already counted its cause
+            static metrics::Counter &closed = metrics::counter(
+                "l0vliw_store_subscriber_disconnects_total{cause=\""
+                "closed\"}",
+                "Subscriber connections closed by the store");
+            closed.inc();
+        }
     }
     sub->cv.notify_all();
     sub->writer.join();
@@ -339,6 +356,11 @@ StoreService::handleQuery(const std::string &line)
     if (words.empty())
         return errReply("empty query");
     const std::string &verb = words[0];
+
+    // The registry self-synchronizes (sync-on-read), so the scrape
+    // never waits behind ingest or compaction.
+    if (verb == "metrics")
+        return metrics::metricsQueryReply(words);
 
     std::lock_guard<std::mutex> lock(mutex_);
 
@@ -494,7 +516,10 @@ StoreService::handleQuery(const std::string &line)
         std::ostringstream foot;
         foot << log_.malformed() << " malformed frame(s); "
              << log_.replayed() << " event(s) replayed on startup; "
-             << log_.truncatedTail() << " torn byte(s) recovered\n";
+             << log_.truncatedTail() << " torn byte(s) recovered; "
+             << "log " << log_.bytes() << " byte(s); seq "
+             << log_.firstSeq() << ".." << log_.latestSeq() << "; "
+             << log_.compactions() << " compaction(s)\n";
         t.footer = foot.str();
         return okReply(0, renderAs(t, format));
     }
@@ -526,7 +551,7 @@ StoreService::handleQuery(const std::string &line)
 
     return errReply("unknown query '" + verb
                     + "' (expected latest-grid|diff|runs|stats|"
-                      "compact)");
+                      "compact|metrics)");
 }
 
 } // namespace l0vliw::store

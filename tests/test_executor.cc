@@ -28,10 +28,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include <dirent.h>
@@ -46,6 +48,8 @@
 #include "driver/registry.hh"
 #include "driver/runner.hh"
 #include "driver/suite.hh"
+#include "metrics/registry.hh"
+#include "metrics/trace.hh"
 #include "net/fault.hh"
 #include "net/server.hh"
 #include "net/socket.hh"
@@ -1386,6 +1390,216 @@ TEST(Stream, FailedCellEventsCarryReasonAndAttempts)
     ASSERT_NE(outcome, nullptr);
     ASSERT_NE(outcome->find("reason"), nullptr);
     EXPECT_EQ(outcome->find("reason")->str(), reason->str());
+}
+
+// ---- per-job tracing ----
+
+TEST(Trace, OneCompleteSpanChainPerDispatchedCellFromEveryBackend)
+{
+    // 2 benchmarks × {l0-8, unified, l0-4}: unified cells never
+    // dispatch, so every backend traces exactly 4 job lanes, each a
+    // complete lifecycle chain — enqueue, cell, execute, plan-build,
+    // fold — plus exactly one wire-write on the backends with a wire.
+    driver::ExperimentSpec spec;
+    spec.benchmarks = {"gsmdec", "stream-4"};
+    spec.archs = {"l0-8", "unified", "l0-4"};
+    for (int a = 0; a < 3; ++a)
+        spec.columns.push_back(
+            driver::normalizedColumn(spec.archs[a], a));
+    driver::Suite suite(std::move(spec));
+
+    LoopbackDaemon daemon;
+    ExecOptions inproc;
+    inproc.jobs = 2;
+    std::vector<std::tuple<std::string, ExecOptions, bool>> backends = {
+        {"inprocess", inproc, false},
+        {"subprocess", subprocessOpts(2), true},
+        {"tcp", tcpOpts({daemon.endpoint()}), true},
+    };
+
+    for (auto &[tag, opts, hasWire] : backends) {
+        metrics::TraceRecorder rec;
+        opts.trace = &rec;
+        suite.run(opts);
+
+        std::map<std::uint64_t, std::map<std::string, int>> lanes;
+        for (const metrics::TraceSpan &span : rec.spans()) {
+            ++lanes[span.job][span.name];
+            EXPECT_GE(span.tsUs, 0.0) << tag;
+            EXPECT_GE(span.durUs, 0.0) << tag;
+        }
+        EXPECT_EQ(lanes.size(), 4u) << tag;
+        for (auto &[job, names] : lanes) {
+            EXPECT_EQ(names["enqueue"], 1) << tag << " job " << job;
+            EXPECT_EQ(names["cell"], 1) << tag << " job " << job;
+            EXPECT_EQ(names["execute"], 1) << tag << " job " << job;
+            EXPECT_EQ(names["plan-build"], 1) << tag << " job " << job;
+            EXPECT_EQ(names["fold"], 1) << tag << " job " << job;
+            EXPECT_EQ(names["wire-write"], hasWire ? 1 : 0)
+                << tag << " job " << job;
+        }
+
+        // The rendered document is loadable trace-event JSON.
+        std::string error;
+        auto doc = json::parse(rec.toChromeJson(), &error);
+        ASSERT_TRUE(doc.has_value()) << tag << ": " << error;
+        const json::Value *events = doc->find("traceEvents");
+        ASSERT_NE(events, nullptr) << tag;
+        EXPECT_EQ(events->items().size(), rec.spans().size()) << tag;
+    }
+}
+
+TEST(Trace, FailedCellsCarryReasonTaggedSpans)
+{
+    // A permanently refused endpoint: the cell span must be tagged
+    // with ok=false and the structured FailReason, exactly like the
+    // stream event is.
+    std::string error;
+    std::uint16_t port = 0;
+    {
+        net::Fd listener = net::listenTcp(0, error, &port);
+        ASSERT_TRUE(listener.valid()) << error;
+    }
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs = {makeJob(5, "gsmdec", "l0-8", p0)};
+
+    metrics::TraceRecorder rec;
+    ExecOptions opts = tcpOpts(
+        {"127.0.0.1:" + std::to_string(port)}, /*maxRetries=*/1);
+    opts.retryBackoffMs = 1;
+    opts.maxBackoffMs = 5;
+    opts.trace = &rec;
+    driver::RemoteExecutor exec(opts);
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+
+    int cellSpans = 0;
+    for (const metrics::TraceSpan &span : rec.spans()) {
+        if (span.name != "cell")
+            continue;
+        ++cellSpans;
+        EXPECT_EQ(span.job, 5u);
+        std::map<std::string, std::string> args(span.args.begin(),
+                                                span.args.end());
+        EXPECT_EQ(args["ok"], "false");
+        EXPECT_EQ(args["reason"],
+                  failReasonName(FailReason::ConnReset));
+        EXPECT_EQ(args["attempts"], "2");
+    }
+    EXPECT_EQ(cellSpans, 1);
+    EXPECT_TRUE(json::parse(rec.toChromeJson(), &error).has_value())
+        << error;
+}
+
+TEST(Trace, StaysValidJsonUnderChaos)
+{
+    // Fault injection corrupts, drops, and resets frames on both
+    // sides of the wire; the trace must still parse as one valid
+    // trace-event document with exactly one authoritative cell span
+    // per job (retries may add wire-writes, never duplicate cells).
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(
+            makeJob(i + 1, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+
+    net::FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(net::FaultSpec::parse(
+        "delay=0..5ms@0.25,drop@0.1,corrupt@0.1,reset@0.1", spec,
+        error))
+        << error;
+    spec.seed = 7;
+
+    LoopbackDaemon daemon(/*dropEvery=*/0, /*workers=*/2);
+    metrics::TraceRecorder rec;
+    {
+        net::ScopedFaultPlan chaos(spec);
+        ExecOptions opts = tcpOpts({daemon.endpoint()},
+                                   /*maxRetries=*/4);
+        opts.window = 4;
+        opts.retryBackoffMs = 2;
+        opts.maxBackoffMs = 20;
+        opts.cellTimeoutMs = 300;
+        opts.heartbeatMs = 100;
+        opts.degrade = driver::DegradeMode::Local;
+        opts.trace = &rec;
+        driver::RemoteExecutor exec(opts);
+        std::vector<CellOutcome> outcomes = exec.execute(jobs);
+        ASSERT_EQ(outcomes.size(), jobs.size());
+    }
+
+    std::map<std::uint64_t, int> cellSpans;
+    for (const metrics::TraceSpan &span : rec.spans())
+        if (span.name == "cell")
+            ++cellSpans[span.job];
+    ASSERT_EQ(cellSpans.size(), jobs.size());
+    for (const CellJob &job : jobs)
+        EXPECT_EQ(cellSpans[job.id], 1) << "job " << job.id;
+
+    auto doc = json::parse(rec.toChromeJson(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_NE(doc->find("traceEvents"), nullptr);
+}
+
+// ---- the metrics registry, fed by real executor runs ----
+
+TEST(Metrics, RemoteExecutorPublishesLiveGauges)
+{
+    // Stats::jobsPerEndpoint / maxInFlight surface as live registry
+    // gauges. The registry is process-global and earlier tests also
+    // ran executors, so assert deltas and floors, not exact values.
+    metrics::Gauge &epJobs = metrics::Registry::global().gauge(
+        "l0vliw_driver_jobs_per_endpoint{endpoint=\"0\"}", "");
+    metrics::Gauge &peak = metrics::Registry::global().gauge(
+        "l0vliw_driver_max_inflight", "");
+    std::int64_t jobsBefore = epJobs.value();
+
+    LoopbackDaemon daemon;
+    Phase0 p0 = phase0("gsmdec");
+    std::vector<CellJob> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(
+            makeJob(i, "gsmdec", i % 2 ? "l0-4" : "l0-8", p0));
+    driver::RemoteExecutor exec(tcpOpts({daemon.endpoint()}));
+    std::vector<CellOutcome> outcomes = exec.execute(jobs);
+    for (const CellOutcome &outcome : outcomes)
+        ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    ASSERT_EQ(exec.stats().jobsPerEndpoint.size(), 1u);
+    EXPECT_EQ(exec.stats().jobsPerEndpoint[0], 4);
+    EXPECT_EQ(epJobs.value() - jobsBefore, 4);
+    EXPECT_GE(peak.value(), exec.stats().maxInFlight);
+    EXPECT_GE(exec.stats().maxInFlight, 1);
+}
+
+TEST(Metrics, DaemonServesTheMetricsVerb)
+{
+    // The `metrics` query verb rides the cell protocol: a daemon
+    // (here handleCellLine itself, like --serve) answers with the
+    // Prometheus exposition wrapped in the standard query reply.
+    std::optional<std::string> reply =
+        driver::handleCellLine("metrics prom");
+    ASSERT_TRUE(reply.has_value());
+    std::string error;
+    auto doc = json::parse(*reply, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_NE(doc->find("ok"), nullptr);
+    EXPECT_TRUE(doc->find("ok")->boolean());
+    const json::Value *text = doc->find("text");
+    ASSERT_NE(text, nullptr);
+    // Executor tests above have run cells through this process.
+    EXPECT_NE(
+        text->str().find("# TYPE l0vliw_driver_cells_executed_total"),
+        std::string::npos);
+
+    // Unknown formats are a structured error, not a sentinel outcome.
+    reply = driver::handleCellLine("metrics yaml");
+    ASSERT_TRUE(reply.has_value());
+    doc = json::parse(*reply, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_FALSE(doc->find("ok")->boolean());
 }
 
 // ---- the chaos soak ----

@@ -860,6 +860,73 @@ TEST(StoreServiceTest, CompactQueryVerbAndRetainRuns)
     EXPECT_NE(queryError.find("session"), std::string::npos);
 }
 
+TEST(StoreServiceTest, StatsFooterAndMetricsVerb)
+{
+    TempLog log("metricsverb");
+    StoreService service;
+    service.setRetainRuns(2);
+    std::string error;
+    ASSERT_TRUE(service.open(log.path(), error)) << error;
+
+    ResultTable table = sampleTable();
+    for (int r = 1; r <= 3; ++r) {
+        std::string run = "r" + std::to_string(r);
+        service.handleLine(cellLine("s", "rev" + run, run, 1, "b", "a",
+                                    true, 100 * r));
+        service.handleLine(gridLine("s", "rev" + run, run, table));
+    }
+
+    // The stats footer reports the live log size (which must agree
+    // with the file), the retained global seq range, and the one
+    // auto-compaction the third run triggered.
+    bool ok;
+    int exit;
+    std::string text, queryError;
+    parseReply(*service.handleLine("stats"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(service.log().bytes(), fileSize(log.path()));
+    EXPECT_NE(text.find("log "
+                        + std::to_string(service.log().bytes())
+                        + " byte(s)"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("seq "
+                        + std::to_string(service.log().firstSeq())
+                        + ".."
+                        + std::to_string(service.log().latestSeq())),
+              std::string::npos)
+        << text;
+    EXPECT_GT(service.log().firstSeq(), 1u)
+        << "compaction dropped the oldest run";
+    EXPECT_NE(text.find("1 compaction(s)"), std::string::npos) << text;
+
+    // The metrics verb answers with the Prometheus exposition through
+    // the same reply envelope as every other query.
+    parseReply(*service.handleLine("metrics"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok) << queryError;
+    EXPECT_EQ(exit, 0);
+    EXPECT_NE(text.find("# TYPE l0vliw_store_ingest_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("l0vliw_store_ingest_total{result=\"stored\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("l0vliw_store_log_bytes"), std::string::npos);
+
+    parseReply(*service.handleLine("metrics table"), ok, exit, text,
+               queryError);
+    ASSERT_TRUE(ok) << queryError;
+    parseReply(*service.handleLine("metrics yaml"), ok, exit, text,
+               queryError);
+    EXPECT_FALSE(ok);
+
+    // The unknown-verb help now advertises it.
+    parseReply(*service.handleLine("frobnicate"), ok, exit, text,
+               queryError);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(queryError.find("metrics"), std::string::npos);
+}
+
 // ---- the subscription channel ----
 
 namespace
